@@ -1,0 +1,81 @@
+"""Shared sizing and fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures (see DESIGN.md's
+per-experiment index) and asserts its qualitative *shape*.  The ``REPRO_SCALE``
+environment variable selects the cost/fidelity point:
+
+=========  ==========================  ==========================
+scale      system                      sweep sizing
+=========  ==========================  ==========================
+tiny       16-set slices               1 combo/class, short runs
+small      64-set slices (default)     1 combo/class
+medium     256-set slices              all 21 combos
+paper      1024-set slices (Table 4)   all 21 combos, long runs
+=========  ==========================  ==========================
+
+The Figure 9/10/11 benches share one sweep via the session-scoped
+``figure_data`` fixture: the expensive simulation runs once, each figure
+bench then derives and prints its metric.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.common.config import SystemConfig, scaled_config
+from repro.experiments.performance import FigureData, evaluate_all
+from repro.experiments.runner import RunPlan
+
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+_SIZING = {
+    # scale: (n_accesses, target_instr, warmup_instr, combos_per_class,
+    #         char_sets, char_intervals, char_interval_accesses)
+    "tiny": (4_000, 60_000, 40_000, 1, 16, 10, 800),
+    "small": (25_000, 300_000, 300_000, 1, 64, 30, 2_000),
+    "medium": (60_000, 800_000, 800_000, None, 256, 100, 10_000),
+    "paper": (400_000, 5_000_000, 5_000_000, None, 1024, 1000, 100_000),
+}
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    config: SystemConfig
+    plan: RunPlan
+    combos_per_class: int | None
+    char_sets: int
+    char_intervals: int
+    char_interval_accesses: int
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    n_acc, target, warmup, combos, csets, cints, cacc = _SIZING[SCALE]
+    return BenchScale(
+        name=SCALE,
+        config=scaled_config(SCALE, seed=7),
+        plan=RunPlan(
+            n_accesses=n_acc,
+            target_instructions=target,
+            warmup_instructions=warmup,
+            cc_probs=(0.0, 0.5, 1.0) if SCALE in ("tiny", "small") else (0.0, 0.25, 0.5, 0.75, 1.0),
+        ),
+        combos_per_class=combos,
+        char_sets=csets,
+        char_intervals=cints,
+        char_interval_accesses=cacc,
+    )
+
+
+@pytest.fixture(scope="session")
+def figure_data(scale: BenchScale) -> FigureData:
+    """The Figures 9-11 sweep, simulated once per session."""
+    return evaluate_all(
+        scale.config,
+        scale.plan,
+        combos_per_class=scale.combos_per_class,
+    )

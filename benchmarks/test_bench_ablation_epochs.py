@@ -1,0 +1,27 @@
+"""Bench ABL-EPOCH: Stage I/II epoch-length sensitivity (Section 3.4).
+
+The paper picked 5 M + 100 M cycles experimentally; this sweep scales both
+stages together and checks the configuration is not knife-edge (the chosen
+point performs within a reasonable band of the best sweep point).
+"""
+
+import pytest
+
+from repro.experiments.ablation import ablate_epochs, render_ablation
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_epoch_lengths(benchmark, scale):
+    points = benchmark.pedantic(
+        ablate_epochs,
+        args=(scale.config, scale.plan),
+        kwargs=dict(scale_factors=(0.25, 1.0, 4.0), mix_class="C5", combos=1),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_ablation(points, "SNUG epoch-length ablation (C5)"))
+    values = {p.label: p.throughput_vs_l2p for p in points}
+    chosen = values["epochs x1"]
+    best = max(values.values())
+    assert chosen > 1.0
+    assert chosen >= best - 0.05

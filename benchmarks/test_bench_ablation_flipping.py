@@ -1,0 +1,28 @@
+"""Bench ABL-FLIP: index-bit flipping on/off (SNUG's key grouping idea).
+
+On the C1 stress tests all four caches carry the *same* G/T vector, so a
+taker set's same-index peers are takers too — without flipping there is
+almost nowhere to spill.  The bench asserts flipping contributes most of
+SNUG's C1 gain.
+"""
+
+import pytest
+
+from repro.experiments.ablation import ablate_flipping, render_ablation
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_index_bit_flipping(benchmark, scale):
+    points = benchmark.pedantic(
+        ablate_flipping,
+        args=(scale.config, scale.plan),
+        kwargs=dict(mix_class="C1", combos=1),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_ablation(points, "SNUG index-bit flipping ablation (C1)"))
+    on = next(p for p in points if p.label == "flip=on").throughput_vs_l2p
+    off = next(p for p in points if p.label == "flip=off").throughput_vs_l2p
+    assert on > off
+    # Flipping should carry the majority of the stress-test gain.
+    assert (on - 1.0) > 2.0 * max(off - 1.0, 0.005)

@@ -1,0 +1,27 @@
+"""Bench ABL-P: the 1/p taker-qualification bar (Section 3.1.2).
+
+``p`` trades spill selectivity against coverage: small p demands a large
+hit-rate gain before a set may spill (few takers), large p lets marginal
+sets spill (more traffic, more pollution).  The paper uses p=8.
+"""
+
+import pytest
+
+from repro.experiments.ablation import ablate_p_threshold, render_ablation
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_p_threshold(benchmark, scale):
+    points = benchmark.pedantic(
+        ablate_p_threshold,
+        args=(scale.config, scale.plan),
+        kwargs=dict(p_values=(2, 8, 32), mix_class="C1", combos=1),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_ablation(points, "SNUG p-threshold ablation (C1)"))
+    values = {p.label: p.throughput_vs_l2p for p in points}
+    # The paper's operating point must be sane: p=8 gains, and is within a
+    # small band of the best swept value.
+    assert values["p=8"] > 1.0
+    assert values["p=8"] >= max(values.values()) - 0.06

@@ -1,0 +1,28 @@
+"""Bench CHAR26: the Section 2.3 survey over all 26 SPEC2000 models.
+
+Asserts the paper's headline characterization conclusion: exactly seven
+programs — ammp, apsi, galgel, gcc, parser, twolf, vortex — exhibit strong,
+exploitable set-level non-uniformity of capacity demand.
+"""
+
+import pytest
+
+from repro.experiments.characterization import non_uniform_names, render_survey, survey_26
+from repro.workloads.spec2000 import NON_UNIFORM_BENCHMARKS
+
+
+@pytest.mark.benchmark(group="characterization")
+def test_char26_survey(benchmark, scale):
+    rows = benchmark.pedantic(
+        survey_26,
+        kwargs=dict(
+            num_sets=scale.char_sets,
+            intervals=max(scale.char_intervals // 3, 4),
+            interval_accesses=scale.char_interval_accesses,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_survey(rows))
+    assert len(rows) == 26
+    assert non_uniform_names(rows) == sorted(NON_UNIFORM_BENCHMARKS)

@@ -1,0 +1,25 @@
+"""Bench FIG10: Average Weighted Speedup over classes C1-C6 (Figure 10).
+
+Paper: SNUG improves AWS by 13.0% on average vs DSR 9.9%, CC(Best) 7.0%,
+L2S 2.5%.  Asserted shape: SNUG holds the best AVG AWS and a decisive C1.
+"""
+
+import pytest
+
+from repro.experiments.performance import figure_series, render_figure
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_average_weighted_speedup(benchmark, figure_data):
+    labels, series = benchmark.pedantic(
+        figure_series, args=(figure_data, "aws"), rounds=1, iterations=1
+    )
+    print("\n" + render_figure(figure_data, "aws"))
+
+    avg = {scheme: values[-1] for scheme, values in series.items()}
+    c1 = {scheme: values[labels.index("C1")] for scheme, values in series.items()}
+
+    assert avg["snug"] > 1.03
+    assert avg["snug"] >= avg["dsr"]
+    assert avg["snug"] >= avg["cc_best"]
+    assert c1["snug"] == max(c1.values())

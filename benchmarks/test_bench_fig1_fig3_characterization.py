@@ -1,0 +1,56 @@
+"""Bench FIG1-FIG3: set-level demand distributions (paper Figures 1-3).
+
+Regenerates the stacked bucket distributions for ammp (Fig. 1), vortex
+(Fig. 2) and applu (Fig. 3) and asserts their published signatures.
+"""
+
+import pytest
+
+from repro.experiments.characterization import figure_distribution, render_figure
+
+
+def run_characterization(bench, scale, name):
+    return bench.pedantic(
+        figure_distribution,
+        args=(name,),
+        kwargs=dict(
+            num_sets=scale.char_sets,
+            intervals=scale.char_intervals,
+            interval_accesses=scale.char_interval_accesses,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="characterization")
+def test_fig1_ammp(benchmark, scale):
+    dist = run_characterization(benchmark, scale, "ammp")
+    print("\n" + render_figure(dist, max_rows=12))
+    mean = dist.mean_sizes()
+    # Fig. 1: ~40% of sets in the 1-4 bucket for the whole run, the rest deep.
+    assert mean[0] > 0.25
+    assert mean[4:].sum() > 0.30
+    assert dist.is_non_uniform()
+
+
+@pytest.mark.benchmark(group="characterization")
+def test_fig2_vortex(benchmark, scale):
+    dist = run_characterization(benchmark, scale, "vortex")
+    print("\n" + render_figure(dist, max_rows=12))
+    # Fig. 2: non-uniform with a phase-dependent mix: the middle window's
+    # bucket distribution differs from the head's.
+    assert dist.is_non_uniform()
+    n = dist.intervals
+    head = dist.sizes[: max(n // 4, 1)].mean(axis=0)
+    mid = dist.sizes[2 * n // 5 : 4 * n // 5].mean(axis=0)
+    assert abs(head - mid).sum() > 0.01
+
+
+@pytest.mark.benchmark(group="characterization")
+def test_fig3_applu(benchmark, scale):
+    dist = run_characterization(benchmark, scale, "applu")
+    print("\n" + render_figure(dist, max_rows=12))
+    # Fig. 3: a streaming program — every set in the 1-4 bucket, always.
+    assert dist.mean_sizes()[0] > 0.95
+    assert not dist.is_non_uniform()

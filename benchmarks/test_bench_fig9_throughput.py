@@ -1,0 +1,43 @@
+"""Bench FIG9: throughput normalized to L2P over classes C1-C6 (Figure 9).
+
+The underlying 5-scheme sweep is simulated once per session (see
+conftest.py); this bench derives, prints and checks the throughput figure.
+
+Published shape asserted here (with slack for the synthetic-workload
+substitution, quantified in EXPERIMENTS.md):
+
+* SNUG wins class C1 decisively (paper: +22.3%) and wins the AVG bar
+  (paper: +13.9% vs DSR's +8.4%);
+* class C2 is flat for every cooperative scheme (paper: within ~2% of L2P);
+* L2S loses in the stress classes (remote-latency tax, nothing to gain).
+"""
+
+import pytest
+
+from repro.experiments.performance import figure_series, render_figure
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig9_throughput(benchmark, figure_data):
+    labels, series = benchmark.pedantic(
+        figure_series, args=(figure_data, "throughput"), rounds=1, iterations=1
+    )
+    print("\n" + render_figure(figure_data, "throughput"))
+
+    avg = {scheme: values[-1] for scheme, values in series.items()}
+    c1 = {scheme: values[labels.index("C1")] for scheme, values in series.items()}
+    c2 = {scheme: values[labels.index("C2")] for scheme, values in series.items()}
+
+    # C1 stress: SNUG's set-level grouping is the only winner.
+    assert c1["snug"] > 1.08
+    assert c1["snug"] > c1["dsr"]
+    assert c1["snug"] > c1["cc_best"]
+    assert c1["l2s"] < 1.0
+
+    # C2 stress: uniformly hungry, nothing to share.
+    for scheme in ("cc_best", "dsr", "snug"):
+        assert 0.93 < c2[scheme] < 1.07, scheme
+
+    # AVG: SNUG is the best scheme overall.
+    assert avg["snug"] > 1.03
+    assert avg["snug"] == max(avg.values())

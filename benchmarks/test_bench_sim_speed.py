@@ -1,0 +1,30 @@
+"""Bench SIM-SPEED: raw simulator throughput (accesses/second) per scheme.
+
+Not a paper artefact — this is the engineering benchmark guarding against
+performance regressions of the hot access path.  pytest-benchmark's timing
+statistics are the product here; the printed rate contextualizes them.
+"""
+
+import pytest
+
+from repro.core.cmp import CmpSystem
+from repro.schemes.factory import make_scheme, scheme_names
+from repro.workloads.mixes import build_mix_traces, get_mix
+
+
+@pytest.mark.benchmark(group="sim-speed")
+@pytest.mark.parametrize("scheme_name", scheme_names())
+def test_access_path_speed(benchmark, scale, scheme_name):
+    cfg = scale.config
+    traces = build_mix_traces(get_mix("c4_0"), cfg.l2.num_sets,
+                              min(scale.plan.n_accesses, 10_000), seed=0)
+    target = min(scale.plan.target_instructions, 120_000)
+
+    def run():
+        scheme = make_scheme(scheme_name, cfg)
+        return CmpSystem(cfg, scheme, traces).run(target)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    accesses = sum(result.accesses)
+    print(f"\n{scheme_name}: {accesses} accesses simulated")
+    assert accesses > 0

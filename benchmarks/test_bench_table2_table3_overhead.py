@@ -1,0 +1,58 @@
+"""Bench TAB2/TAB3: SNUG storage-overhead model (paper Tables 2 and 3).
+
+Analytic (no simulation): evaluates Formula 6 over the paper's four
+address-width x line-size corners and asserts the published percentages.
+"""
+
+import pytest
+
+from repro.analysis.overhead import SnugOverheadModel
+from repro.analysis.report import format_pct, render_table
+from repro.common.config import CacheGeometry
+
+#: Paper Table 3, as fractions.
+PAPER_TABLE3 = {
+    (32, 64): 0.039,
+    (44, 64): 0.058,
+    (32, 128): 0.021,
+    (44, 128): 0.031,
+}
+
+
+@pytest.mark.benchmark(group="analytic")
+def test_table2_field_lengths(benchmark):
+    model = SnugOverheadModel(CacheGeometry(), address_bits=32)
+    fields = benchmark(model.field_lengths)
+    print("\n" + render_table(
+        ["field", "bits"],
+        [
+            ["tag", fields.tag_bits],
+            ["set index", fields.index_bits],
+            ["LRU", fields.lru_bits],
+            ["counter k", fields.counter_bits],
+            ["log p", fields.mod_p_bits],
+        ],
+        title="Table 2 (32-bit, 1MB/16-way/64B)",
+    ))
+    assert fields.tag_bits == 16
+    assert fields.lru_bits == 4
+    assert fields.counter_bits == 4
+    assert fields.mod_p_bits == 3
+
+
+@pytest.mark.benchmark(group="analytic")
+def test_table3_overhead_grid(benchmark):
+    grid = benchmark(SnugOverheadModel.table3)
+    rows = [
+        [f"{lb} B/line", format_pct(grid[(32, lb)]), format_pct(grid[(44, lb)])]
+        for lb in (64, 128)
+    ]
+    print("\n" + render_table(
+        ["", "32-bit addr", "64-bit addr (44 used)"],
+        rows,
+        title="Table 3: storage overhead (Formula 6)",
+    ))
+    for key, expected in PAPER_TABLE3.items():
+        assert grid[key] == pytest.approx(expected, abs=0.002), key
+    # Section 3.4: overhead falls in the 2-6% range.
+    assert all(0.02 <= v <= 0.06 for v in grid.values())

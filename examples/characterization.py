@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Section 2 characterization (Figures 1-3).
+
+Profiles the set-level capacity demand of three SPEC2000 models with the
+Mattson stack-distance methodology (A_threshold = 32, M = 8 buckets) and
+prints the per-interval bucket distributions the paper plots as stacked
+areas:
+
+* **ammp**  (Fig. 1) — strong static non-uniformity: ~40 % of sets need
+  only 1-4 blocks while the rest are capacity-starved;
+* **vortex** (Fig. 2) — phase-dependent non-uniformity;
+* **applu** (Fig. 3) — streaming: every set sits in the 1-4 bucket.
+
+Run:  python examples/characterization.py
+"""
+
+from repro.experiments.characterization import figure_distribution, render_figure
+
+
+def main() -> None:
+    for figure, benchmark in (("Figure 1", "ammp"), ("Figure 2", "vortex"), ("Figure 3", "applu")):
+        dist = figure_distribution(
+            benchmark,
+            num_sets=64,           # paper: 1024 (scaled for speed)
+            intervals=30,          # paper: 1000
+            interval_accesses=2000,  # paper: 100_000
+        )
+        print(f"\n===================== {figure}: {benchmark} =====================")
+        print(render_figure(dist, max_rows=12))
+        print(
+            f"giver share (demand <= 8): {dist.giver_fraction():.1%}   "
+            f"taker share (demand > 16): {dist.taker_fraction():.1%}   "
+            f"non-uniformity score: {dist.nonuniformity_score():.3f}"
+            f"  -> {'NON-UNIFORM' if dist.is_non_uniform() else 'uniform'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Mini Figure 9/10/11: sweep one mix per class and compare schemes.
+
+The full 21-combination sweep lives in the benchmark harness
+(benchmarks/test_bench_fig9_throughput.py etc.); this example runs the first
+combination of each class so the whole study finishes in a few minutes and
+prints the three figures side by side.
+
+Run:  python examples/scheme_comparison.py           (all six classes)
+      python examples/scheme_comparison.py C1 C5     (a subset)
+"""
+
+import sys
+import time
+
+from repro import RunPlan, fast_config
+from repro.experiments.performance import evaluate_all, render_figure
+
+
+def main() -> None:
+    classes = sys.argv[1:] or ["C1", "C2", "C3", "C4", "C5", "C6"]
+    config = fast_config(seed=7)
+    plan = RunPlan(
+        n_accesses=25_000,
+        target_instructions=300_000,
+        warmup_instructions=300_000,
+        cc_probs=(0.0, 0.5, 1.0),
+    )
+    t0 = time.time()
+    data = evaluate_all(config, plan, classes=classes, combos_per_class=1)
+    for metric in ("throughput", "aws", "fs"):
+        print()
+        print(render_figure(data, metric))
+    print(f"\n{len(data.combos)} combinations x 5 schemes in {time.time() - t0:.0f}s")
+    print("(values are geometric means over each class, normalized to L2P)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: lets `pip install -e .` work on environments without the
+PEP-517 wheel package installed (offline CI boxes). Configuration lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

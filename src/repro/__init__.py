@@ -1,0 +1,131 @@
+"""repro — a full reproduction of *"Exploiting Set-Level Non-Uniformity of
+Capacity Demand to Enhance CMP Cooperative Caching"* (Zhan, Jiang, Seth).
+
+The package provides:
+
+* :mod:`repro.cache` / :mod:`repro.mem` / :mod:`repro.interconnect` — the
+  CMP memory-hierarchy substrate (LRU caches, shadow tag arrays, saturating
+  counters, write-back buffers, snoop bus, DRAM);
+* :mod:`repro.schemes` — the five evaluated L2 organizations: L2P, L2S,
+  CC, DSR and **SNUG** (the paper's contribution);
+* :mod:`repro.core` — trace-driven timing cores and the CMP event loop;
+* :mod:`repro.workloads` — synthetic SPEC CPU2000 workload models with
+  controlled set-level capacity demand, and the Table 8 mixes;
+* :mod:`repro.analysis` — Section 2's demand characterization, Table 5's
+  metrics and the Section 3.4 overhead model;
+* :mod:`repro.experiments` — drivers regenerating every figure and table.
+
+Quickstart::
+
+    from repro import fast_config, RunPlan, run_combo, get_mix
+
+    cfg = fast_config()
+    combo = run_combo(get_mix("c3_0"), cfg, RunPlan(n_accesses=20_000,
+                                                    target_instructions=300_000))
+    print(combo.metrics["snug"]["throughput"])   # vs the L2P baseline
+"""
+
+from .analysis import (
+    SnugOverheadModel,
+    average_weighted_speedup,
+    characterize_trace,
+    fair_speedup,
+    geometric_mean,
+    normalized_throughput,
+    throughput,
+)
+from .common import (
+    CacheGeometry,
+    ConfigError,
+    ReproError,
+    RngFactory,
+    SnugConfig,
+    SystemConfig,
+    fast_config,
+    paper_config,
+    scaled_config,
+    tiny_config,
+)
+from .core import CmpSystem, SimResult, TraceCore
+from .experiments import (
+    ComboResult,
+    RunPlan,
+    evaluate_all,
+    figure_distribution,
+    run_cc_best,
+    run_combo,
+    run_traces,
+    survey_26,
+)
+from .schemes import (
+    CooperativeCaching,
+    DynamicSpillReceive,
+    PrivateL2,
+    SharedL2,
+    SnugCache,
+    make_scheme,
+    scheme_names,
+)
+from .workloads import (
+    MIXES,
+    Trace,
+    WorkloadMix,
+    WorkloadSpec,
+    benchmark_names,
+    build_mix_traces,
+    generate_trace,
+    get_mix,
+    get_profile,
+    make_benchmark_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SnugOverheadModel",
+    "average_weighted_speedup",
+    "characterize_trace",
+    "fair_speedup",
+    "geometric_mean",
+    "normalized_throughput",
+    "throughput",
+    "CacheGeometry",
+    "ConfigError",
+    "ReproError",
+    "RngFactory",
+    "SnugConfig",
+    "SystemConfig",
+    "fast_config",
+    "paper_config",
+    "scaled_config",
+    "tiny_config",
+    "CmpSystem",
+    "SimResult",
+    "TraceCore",
+    "ComboResult",
+    "RunPlan",
+    "evaluate_all",
+    "figure_distribution",
+    "run_cc_best",
+    "run_combo",
+    "run_traces",
+    "survey_26",
+    "CooperativeCaching",
+    "DynamicSpillReceive",
+    "PrivateL2",
+    "SharedL2",
+    "SnugCache",
+    "make_scheme",
+    "scheme_names",
+    "MIXES",
+    "Trace",
+    "WorkloadMix",
+    "WorkloadSpec",
+    "benchmark_names",
+    "build_mix_traces",
+    "generate_trace",
+    "get_mix",
+    "get_profile",
+    "make_benchmark_trace",
+    "__version__",
+]

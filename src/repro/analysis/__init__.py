@@ -1,0 +1,30 @@
+"""Characterization, metrics, overhead model and report rendering."""
+
+from .demand import DemandDistribution, bucket_bounds, bucket_of, characterize_trace
+from .metrics import (
+    average_weighted_speedup,
+    fair_speedup,
+    geometric_mean,
+    normalized_throughput,
+    throughput,
+)
+from .overhead import FieldLengths, SnugOverheadModel
+from .report import format_pct, render_distribution, render_series, render_table
+
+__all__ = [
+    "DemandDistribution",
+    "bucket_bounds",
+    "bucket_of",
+    "characterize_trace",
+    "average_weighted_speedup",
+    "fair_speedup",
+    "geometric_mean",
+    "normalized_throughput",
+    "throughput",
+    "FieldLengths",
+    "SnugOverheadModel",
+    "format_pct",
+    "render_distribution",
+    "render_series",
+    "render_table",
+]

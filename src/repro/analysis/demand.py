@@ -1,0 +1,178 @@
+"""Set-level capacity-demand characterization (Section 2, Formulas 1–5).
+
+The pipeline mirrors the paper's methodology (Section 2.2): feed a program's
+L2 reference stream through a per-set LRU stack-distance profiler of depth
+``A_threshold`` (= 2 x baseline associativity), close an interval every
+``interval_accesses`` references, and record for every set
+
+``block_required(S, I)`` — Formula (3): the minimum associativity at which
+the interval's hit count saturates, i.e. the deepest LRU position that hit.
+
+The integer range ``[1, A_threshold]`` is then divided into ``M`` equal
+buckets; ``size_bucket_j(I)`` — Formula (5) — is the fraction of sets whose
+demand falls in bucket ``j`` during interval ``I``.  The resulting
+``(intervals x M)`` matrix is exactly what Figures 1–3 plot as stacked
+distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..cache.stackdist import StackDistanceProfiler
+from ..common.bitops import is_pow2
+from ..common.errors import ConfigError
+from ..workloads.trace import Trace
+
+__all__ = [
+    "bucket_bounds",
+    "bucket_of",
+    "DemandDistribution",
+    "characterize_trace",
+]
+
+
+def bucket_bounds(a_threshold: int, m: int) -> List[tuple[int, int]]:
+    """The ``M`` equal sub-ranges of ``[1, A_threshold]`` (Table 1).
+
+    ``bucket_j = [(j-1) * A_thr / M + 1,  j * A_thr / M]`` for ``1 <= j <= M``.
+    """
+    if not (is_pow2(a_threshold) and is_pow2(m)):
+        raise ConfigError("A_threshold and M must be integral powers of two")
+    if m > a_threshold:
+        raise ConfigError("cannot have more buckets than associativity levels")
+    width = a_threshold // m
+    return [((j - 1) * width + 1, j * width) for j in range(1, m + 1)]
+
+
+def bucket_of(block_required: int, a_threshold: int, m: int) -> int:
+    """0-based bucket index of a demand value (membership function, Formula 4)."""
+    if block_required < 1:
+        raise ValueError("block_required is at least 1")
+    clipped = min(block_required, a_threshold)
+    width = a_threshold // m
+    return (clipped - 1) // width
+
+
+@dataclass
+class DemandDistribution:
+    """Per-interval bucketed set-level demand of one program.
+
+    Attributes
+    ----------
+    name:
+        Workload name.
+    a_threshold, m:
+        Characterization parameters (32 and 8 in the paper).
+    sizes:
+        ``(intervals, M)`` array; row ``I`` is ``size_bucket_j(I)`` for all
+        ``j`` — each row sums to 1 (Formula 5's normalization by ``N``).
+    demand:
+        ``(intervals, num_sets)`` array of raw ``block_required(S, I)``.
+    """
+
+    name: str
+    a_threshold: int
+    m: int
+    sizes: np.ndarray
+    demand: np.ndarray
+
+    @property
+    def intervals(self) -> int:
+        return self.sizes.shape[0]
+
+    @property
+    def num_sets(self) -> int:
+        return self.demand.shape[1]
+
+    def mean_sizes(self) -> np.ndarray:
+        """Time-averaged bucket distribution (length ``M``)."""
+        return self.sizes.mean(axis=0)
+
+    def giver_fraction(self, baseline_assoc: int | None = None) -> float:
+        """Share of (set, interval) samples with demand <= half the baseline.
+
+        "Giver-able" sets in the SNUG sense: they could donate roughly half
+        their ways.  Defaults to ``A_threshold / 4`` (= ``A_baseline / 2``).
+        """
+        cut = (self.a_threshold // 4) if baseline_assoc is None else baseline_assoc // 2
+        return float((self.demand <= cut).mean())
+
+    def taker_fraction(self, baseline_assoc: int | None = None) -> float:
+        """Share of samples demanding *more* than the baseline associativity."""
+        cut = (self.a_threshold // 2) if baseline_assoc is None else baseline_assoc
+        return float((self.demand > cut).mean())
+
+    def nonuniformity_score(self) -> float:
+        """Strength of *exploitable* set-level non-uniformity.
+
+        Defined as ``min(giver_fraction, taker_fraction)``: both donor sets
+        and starved sets must coexist for cooperative grouping to have any
+        material to work with.  Streaming programs (all givers) and
+        uniformly-starved programs (all takers) both score ~0; the paper's
+        seven non-uniform benchmarks score high.
+        """
+        return min(self.giver_fraction(), self.taker_fraction())
+
+    def is_non_uniform(self, threshold: float = 0.08) -> bool:
+        """Classification used for the Section 2.3 survey."""
+        return self.nonuniformity_score() >= threshold
+
+
+def characterize_trace(
+    trace: Trace,
+    num_sets: int,
+    *,
+    a_threshold: int = 32,
+    m: int = 8,
+    interval_accesses: int = 2000,
+    max_intervals: int | None = None,
+) -> DemandDistribution:
+    """Run the Section 2.2 characterization over *trace*.
+
+    Parameters
+    ----------
+    trace:
+        The program's L2 reference stream.
+    num_sets:
+        ``N`` — sets of the modelled L2 (1024 in the paper).
+    a_threshold:
+        Stack depth (32 in the paper: double the 16-way baseline).
+    m:
+        Number of demand buckets (8 in the paper).
+    interval_accesses:
+        Sampling interval length in L2 accesses (100 K in the paper).
+    max_intervals:
+        Optional cap on the number of intervals processed.
+    """
+    bucket_bounds(a_threshold, m)  # validates the pair
+    if interval_accesses < 1:
+        raise ConfigError("interval_accesses must be positive")
+    profiler = StackDistanceProfiler(num_sets, a_threshold)
+    addrs = trace.addrs
+    n_intervals = len(addrs) // interval_accesses
+    if max_intervals is not None:
+        n_intervals = min(n_intervals, max_intervals)
+    if n_intervals < 1:
+        raise ConfigError("trace too short for even one sampling interval")
+
+    demand = np.empty((n_intervals, num_sets), dtype=np.int64)
+    width = a_threshold // m
+    sizes = np.empty((n_intervals, m), dtype=float)
+    for i in range(n_intervals):
+        chunk = addrs[i * interval_accesses : (i + 1) * interval_accesses]
+        profiler.reference_many(chunk)
+        required = profiler.end_interval()
+        demand[i] = required
+        buckets = (np.minimum(required, a_threshold) - 1) // width
+        sizes[i] = np.bincount(buckets, minlength=m) / num_sets
+    return DemandDistribution(
+        name=trace.name,
+        a_threshold=a_threshold,
+        m=m,
+        sizes=sizes,
+        demand=demand,
+    )

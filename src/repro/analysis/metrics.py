@@ -1,0 +1,76 @@
+"""Multiprogram performance metrics (Table 5).
+
+For a scheme with per-core IPC vector ``ipc`` and the L2P baseline vector
+``base`` (same workload, same cores):
+
+* ``Throughput = sum_i ipc_i`` — system utilization;
+* ``AWS = (1/N) * sum_i ipc_i / base_i`` — average weighted speedup,
+  i.e. mean relative IPC (reduction in execution time);
+* ``FS = N / sum_i (base_i / ipc_i)`` — fair speedup, the harmonic mean of
+  relative IPCs, balancing performance and fairness.
+
+Class-level numbers in the paper are geometric means over the combinations
+in a class (Section 5), provided here as :func:`geometric_mean`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "throughput",
+    "average_weighted_speedup",
+    "fair_speedup",
+    "geometric_mean",
+    "normalized_throughput",
+]
+
+
+def _validate(ipc: Sequence[float], baseline: Sequence[float] | None = None) -> None:
+    if len(ipc) == 0:
+        raise ValueError("need at least one core")
+    if any(x <= 0 for x in ipc):
+        raise ValueError("IPC values must be positive")
+    if baseline is not None:
+        if len(baseline) != len(ipc):
+            raise ValueError("baseline and scheme IPC vectors differ in length")
+        if any(x <= 0 for x in baseline):
+            raise ValueError("baseline IPC values must be positive")
+
+
+def throughput(ipc: Sequence[float]) -> float:
+    """Sum of IPCs."""
+    _validate(ipc)
+    return float(np.sum(ipc))
+
+
+def normalized_throughput(ipc: Sequence[float], baseline: Sequence[float]) -> float:
+    """Scheme throughput over baseline throughput (Figures 9's y-axis)."""
+    _validate(ipc, baseline)
+    return float(np.sum(ipc) / np.sum(baseline))
+
+
+def average_weighted_speedup(ipc: Sequence[float], baseline: Sequence[float]) -> float:
+    """Tullsen & Brown's AWS: mean of per-program relative IPCs."""
+    _validate(ipc, baseline)
+    rel = np.asarray(ipc, dtype=float) / np.asarray(baseline, dtype=float)
+    return float(rel.mean())
+
+
+def fair_speedup(ipc: Sequence[float], baseline: Sequence[float]) -> float:
+    """Luo et al.'s FS: harmonic mean of per-program relative IPCs."""
+    _validate(ipc, baseline)
+    rel = np.asarray(ipc, dtype=float) / np.asarray(baseline, dtype=float)
+    return float(len(rel) / np.sum(1.0 / rel))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's per-class aggregator)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of an empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))

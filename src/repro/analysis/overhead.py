@@ -1,0 +1,127 @@
+"""SNUG storage-overhead model (Section 3.4, Formula 6, Tables 2 and 3).
+
+Formula (6)::
+
+    overhead = storage(shadow set) / (storage(shadow set) + storage(L2 set))
+
+Field inventory (Table 2):
+
+* L2 line: data + tag + valid + dirty + CC + f + LRU bits; one G/T bit per
+  set sits in the G/T vector.
+* Shadow entry: tag + valid + LRU bits; per shadow set there is also the
+  k-bit saturating counter and the log2(p)-bit modulo counter.
+
+The published numbers this model reproduces exactly:
+
+====================  ===========  ============================
+configuration         64 B lines   128 B lines
+====================  ===========  ============================
+32-bit addresses      3.9 %        2.1 %
+64-bit (44 used)      5.8 %        3.1 %
+====================  ===========  ============================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..common.bitops import log2_exact
+from ..common.config import CacheGeometry, SnugConfig
+
+__all__ = ["FieldLengths", "SnugOverheadModel"]
+
+
+@dataclass(frozen=True)
+class FieldLengths:
+    """Per-field bit widths for one (geometry, address-width) combination."""
+
+    address_bits: int
+    tag_bits: int
+    index_bits: int
+    offset_bits: int
+    lru_bits: int
+    counter_bits: int
+    mod_p_bits: int
+    data_bits: int
+
+    def l2_line_bits(self) -> int:
+        """One L2 line: data + tag + v + d + CC + f + LRU."""
+        return self.data_bits + self.tag_bits + 4 + self.lru_bits
+
+    def shadow_entry_bits(self) -> int:
+        """One shadow entry: tag + v + LRU (no data, no dirty/CC/f)."""
+        return self.tag_bits + 1 + self.lru_bits
+
+
+class SnugOverheadModel:
+    """Computes Tables 2 and 3 for arbitrary geometries.
+
+    Parameters
+    ----------
+    geometry:
+        L2 slice geometry (capacity is held fixed when line size varies,
+        matching Section 3.4's "larger block size, same capacity" argument).
+    address_bits:
+        Architectural address width actually used for tagging (the paper
+        uses 44 of UltraSPARC-III's 64 bits).
+    snug:
+        SNUG parameters (counter width ``k`` and modulus ``p``).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry | None = None,
+        address_bits: int = 32,
+        snug: SnugConfig | None = None,
+    ) -> None:
+        self.geometry = geometry or CacheGeometry()
+        self.address_bits = address_bits
+        self.snug = snug or SnugConfig()
+
+    def field_lengths(self) -> FieldLengths:
+        geo = self.geometry
+        index_bits = geo.index_bits
+        offset_bits = geo.offset_bits
+        tag_bits = self.address_bits - index_bits - offset_bits
+        if tag_bits <= 0:
+            raise ValueError("address too narrow for this geometry")
+        lru_bits = max(1, math.ceil(math.log2(geo.assoc)))
+        return FieldLengths(
+            address_bits=self.address_bits,
+            tag_bits=tag_bits,
+            index_bits=index_bits,
+            offset_bits=offset_bits,
+            lru_bits=lru_bits,
+            counter_bits=self.snug.counter_bits,
+            mod_p_bits=log2_exact(self.snug.p_threshold, what="p"),
+            data_bits=geo.line_bytes * 8,
+        )
+
+    def l2_set_bits(self) -> int:
+        """Storage of one L2 set, including its G/T vector bit."""
+        f = self.field_lengths()
+        return f.l2_line_bits() * self.geometry.assoc + 1
+
+    def shadow_set_bits(self) -> int:
+        """Storage of one shadow set, including its two counters."""
+        f = self.field_lengths()
+        return f.shadow_entry_bits() * self.geometry.assoc + f.counter_bits + f.mod_p_bits
+
+    def overhead(self) -> float:
+        """Formula (6): shadow share of the combined per-set storage."""
+        shadow = self.shadow_set_bits()
+        return shadow / (shadow + self.l2_set_bits())
+
+    @classmethod
+    def table3(cls, size_bytes: int = 1 << 20, assoc: int = 16) -> dict[tuple[int, int], float]:
+        """Reproduce Table 3: overhead for {32, 44-used-of-64} x {64 B, 128 B}.
+
+        Keys are ``(address_bits, line_bytes)``; values are fractions.
+        """
+        out: dict[tuple[int, int], float] = {}
+        for address_bits in (32, 44):
+            for line_bytes in (64, 128):
+                geo = CacheGeometry(size_bytes=size_bytes, assoc=assoc, line_bytes=line_bytes)
+                out[(address_bits, line_bytes)] = cls(geo, address_bits).overhead()
+        return out

@@ -1,0 +1,19 @@
+"""Cache building blocks: lines, LRU sets, slices, shadow tags, monitors."""
+
+from .block import CacheLine
+from .cache import SetAssocCache
+from .lruset import LruSet
+from .satcounter import DemandMonitorCounter, SaturatingCounter
+from .shadowset import ShadowSet
+from .stackdist import StackDistanceProfiler, StackDistanceSet
+
+__all__ = [
+    "CacheLine",
+    "SetAssocCache",
+    "LruSet",
+    "DemandMonitorCounter",
+    "SaturatingCounter",
+    "ShadowSet",
+    "StackDistanceProfiler",
+    "StackDistanceSet",
+]

@@ -1,0 +1,43 @@
+"""Cache-line metadata record.
+
+A line in a SNUG-capable L2 carries, besides the usual tag/valid/dirty/LRU
+state, two extra bits (Section 3.1.1):
+
+* ``cc`` — set when the line is *cooperatively cached*, i.e. it was spilled
+  here by a peer cache and is not owned by the local core;
+* ``f``  — meaningful only when ``cc`` is set: the line was hosted in the set
+  whose **last index bit is flipped** relative to its home index, so its home
+  set index is ``this_set ^ 1``.
+
+We additionally record ``owner`` (the id of the core whose address space the
+block belongs to).  Real hardware does not need it — the full tag already
+disambiguates because core address spaces are disjoint — but keeping it
+explicit makes invariants checkable and stats attributable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheLine"]
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """Metadata for one resident cache line.
+
+    ``tag`` here is the *full block address* rather than the truncated
+    hardware tag: with index-bit flipping a hosted line can live in a set its
+    index bits do not name, so storing the full block address (tag + home
+    index, as hardware does via the f bit) keeps recomposition trivial.
+    """
+
+    addr: int
+    dirty: bool = False
+    cc: bool = False
+    f: bool = False
+    owner: int = 0
+
+    def clone(self) -> "CacheLine":
+        """Return a copy (used when migrating a line between slices)."""
+        return CacheLine(addr=self.addr, dirty=self.dirty, cc=self.cc, f=self.f, owner=self.owner)

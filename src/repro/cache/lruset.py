@@ -1,0 +1,143 @@
+"""A true-LRU set of cache lines with hit-position reporting.
+
+The set is the unit the whole paper reasons about, so this class is the
+workhorse of the simulator.  Lines are kept in an MRU-first list; a hit at
+list position ``i`` (0-based) is a hit at **LRU position** ``i + 1`` in the
+paper's 1-based terminology — the quantity ``hit_count(S, I, A)`` counts hits
+at LRU positions ``<= A`` (Section 2.1.1).
+
+Design notes
+------------
+* Associativity is small (16 in Table 4), so O(A) list scans beat any
+  fancier structure in CPython.
+* Victim selection is strict LRU over resident lines.  Schemes that must
+  prefer evicting cooperative blocks first (none in the paper — CC blocks
+  age normally) can use :meth:`find_victim` with a predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from .block import CacheLine
+
+__all__ = ["LruSet"]
+
+
+class LruSet:
+    """One set of a set-associative cache under true LRU replacement."""
+
+    __slots__ = ("assoc", "_lines")
+
+    def __init__(self, assoc: int) -> None:
+        if assoc < 1:
+            raise ValueError("associativity must be >= 1")
+        self.assoc = assoc
+        self._lines: List[CacheLine] = []
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __iter__(self) -> Iterator[CacheLine]:
+        return iter(self._lines)
+
+    @property
+    def full(self) -> bool:
+        return len(self._lines) >= self.assoc
+
+    def probe(self, addr: int) -> Optional[CacheLine]:
+        """Return the resident line for *addr* without updating recency."""
+        for line in self._lines:
+            if line.addr == addr:
+                return line
+        return None
+
+    def hit_position(self, addr: int) -> int:
+        """1-based LRU position of *addr*, or 0 if absent (no recency update)."""
+        for i, line in enumerate(self._lines):
+            if line.addr == addr:
+                return i + 1
+        return 0
+
+    # -- mutations ---------------------------------------------------------
+
+    def touch(self, addr: int) -> Optional[CacheLine]:
+        """Look up *addr*; on hit move it to MRU and return the line.
+
+        Returns ``None`` on miss.
+        """
+        lines = self._lines
+        for i, line in enumerate(lines):
+            if line.addr == addr:
+                if i:
+                    del lines[i]
+                    lines.insert(0, line)
+                return line
+        return None
+
+    def access(self, addr: int) -> tuple[int, Optional[CacheLine]]:
+        """Look up *addr* returning ``(lru_position, line)``; updates recency.
+
+        ``lru_position`` is 1-based; 0 means miss.  This is the profiling
+        variant of :meth:`touch` used when per-position hit counts are
+        needed (SNUG's demand monitor, the characterization pipeline).
+        """
+        lines = self._lines
+        for i, line in enumerate(lines):
+            if line.addr == addr:
+                if i:
+                    del lines[i]
+                    lines.insert(0, line)
+                return i + 1, line
+        return 0, None
+
+    def insert(self, line: CacheLine) -> Optional[CacheLine]:
+        """Insert *line* at MRU; return the evicted LRU line if the set was full."""
+        victim: Optional[CacheLine] = None
+        if self.full:
+            victim = self._lines.pop()
+        self._lines.insert(0, line)
+        return victim
+
+    def insert_at_lru(self, line: CacheLine) -> Optional[CacheLine]:
+        """Insert *line* at the LRU end (lowest retention priority)."""
+        victim: Optional[CacheLine] = None
+        if self.full:
+            victim = self._lines.pop()
+        self._lines.append(line)
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Remove and return the line for *addr*, or ``None`` if absent."""
+        lines = self._lines
+        for i, line in enumerate(lines):
+            if line.addr == addr:
+                del lines[i]
+                return line
+        return None
+
+    def find_victim(self, predicate: Callable[[CacheLine], bool]) -> Optional[CacheLine]:
+        """Return the LRU-most line satisfying *predicate* (no removal)."""
+        for line in reversed(self._lines):
+            if predicate(line):
+                return line
+        return None
+
+    def evict_lru(self) -> Optional[CacheLine]:
+        """Remove and return the LRU line (``None`` if the set is empty)."""
+        if self._lines:
+            return self._lines.pop()
+        return None
+
+    def remove(self, line: CacheLine) -> None:
+        """Remove a specific line object (must be resident)."""
+        self._lines.remove(line)
+
+    def clear(self) -> None:
+        self._lines.clear()
+
+    def addrs(self) -> List[int]:
+        """Resident block addresses, MRU first (for tests/debugging)."""
+        return [line.addr for line in self._lines]

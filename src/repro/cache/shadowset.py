@@ -1,0 +1,78 @@
+"""Shadow tag sets — the capacity-demand sensors of SNUG (Section 3.1.1).
+
+A shadow set is a data-less LRU array of tags, one per real L2 set, that
+retains the tags of **locally-owned lines evicted from the real set**.  Two
+rules from the paper are enforced here:
+
+* *Exclusivity*: a tag may never be simultaneously present in the real set
+  and its shadow set.  The shadow insert therefore happens only on eviction,
+  and a shadow hit **invalidates** the shadow entry as the block re-enters
+  the real set.
+* *Independent LRU*: the shadow set has its own recency order, updated only
+  by shadow inserts/hits.
+
+A hit in the shadow set means "this access would have been a hit if the set
+had (up to) twice the associativity" — the real set plus its shadow form the
+two buckets of Section 3.1.2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["ShadowSet"]
+
+
+class ShadowSet:
+    """Data-less LRU tag store monitoring one L2 set."""
+
+    __slots__ = ("assoc", "_tags")
+
+    def __init__(self, assoc: int) -> None:
+        if assoc < 1:
+            raise ValueError("shadow associativity must be >= 1")
+        self.assoc = assoc
+        self._tags: List[int] = []  # MRU first
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._tags
+
+    def record_eviction(self, addr: int) -> None:
+        """Retain the tag of a locally-owned victim, evicting shadow-LRU."""
+        tags = self._tags
+        try:
+            # Re-eviction of a tag already shadowed: refresh its recency.
+            tags.remove(addr)
+        except ValueError:
+            if len(tags) >= self.assoc:
+                tags.pop()
+        tags.insert(0, addr)
+
+    def hit_and_invalidate(self, addr: int) -> bool:
+        """On a real-set miss, check the shadow; a hit removes the entry.
+
+        Returns ``True`` iff the tag was present (a *shadow hit*).
+        """
+        try:
+            self._tags.remove(addr)
+        except ValueError:
+            return False
+        return True
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop *addr* if present (e.g. exclusivity repair); True if removed."""
+        try:
+            self._tags.remove(addr)
+        except ValueError:
+            return False
+        return True
+
+    def clear(self) -> None:
+        self._tags.clear()
+
+    def tags(self) -> List[int]:
+        """Shadowed addresses, MRU first (for tests)."""
+        return list(self._tags)

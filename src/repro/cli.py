@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the library's main entry points:
+
+``characterize``
+    Section 2 pipeline: per-set demand distribution of one benchmark
+    (Figures 1–3 as text).
+
+``run``
+    Simulate one Table 8 mix (or four explicit programs) under one or more
+    schemes and print Table 5 metrics vs the L2P baseline.
+
+``sweep``
+    The Figures 9–11 class sweep (optionally restricted to classes /
+    combinations) — prints all three figures.
+
+``overhead``
+    The analytic Tables 2 and 3.
+
+All commands accept ``--scale {tiny,small,medium,paper}`` and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.overhead import SnugOverheadModel
+from .analysis.report import format_pct, render_table
+from .common.config import SCALE_NAMES, scaled_config
+from .experiments.characterization import figure_distribution, render_figure as render_char
+from .experiments.performance import evaluate_all, render_figure
+from .experiments.runner import RunPlan, run_combo
+from .schemes.factory import SCHEMES
+from .workloads.mixes import MIXES, WorkloadMix, get_mix, mix_classes
+from .workloads.spec2000 import benchmark_names
+
+__all__ = ["main", "build_parser"]
+
+#: Per-scale run sizing: (n_accesses, target_instructions, warmup).
+_PLAN_SIZING = {
+    "tiny": (4_000, 60_000, 40_000),
+    "small": (25_000, 300_000, 300_000),
+    "medium": (60_000, 800_000, 800_000),
+    "paper": (400_000, 5_000_000, 5_000_000),
+}
+
+
+def _plan_for(scale: str, seed: int) -> RunPlan:
+    n_acc, target, warmup = _PLAN_SIZING[scale]
+    return RunPlan(
+        n_accesses=n_acc,
+        target_instructions=target,
+        warmup_instructions=warmup,
+        seed=seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SNUG cooperative-caching reproduction toolkit",
+    )
+    parser.add_argument("--scale", choices=SCALE_NAMES, default="small")
+    parser.add_argument("--seed", type=int, default=7)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_char = sub.add_parser("characterize", help="set-level demand distribution (Figs 1-3)")
+    p_char.add_argument("benchmark", choices=benchmark_names())
+    p_char.add_argument("--intervals", type=int, default=30)
+    p_char.add_argument("--interval-accesses", type=int, default=2_000)
+
+    p_run = sub.add_parser("run", help="simulate one workload mix")
+    group = p_run.add_mutually_exclusive_group(required=True)
+    group.add_argument("--mix", choices=[m.mix_id for m in MIXES])
+    group.add_argument("--programs", nargs=4, metavar="PROG",
+                       help="four benchmark names (custom mix)")
+    p_run.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["l2p", "l2s", "cc_best", "dsr", "snug"],
+        choices=[*SCHEMES, "cc_best"],
+    )
+
+    p_sweep = sub.add_parser("sweep", help="class sweep (Figures 9-11)")
+    p_sweep.add_argument("--classes", nargs="+", choices=mix_classes(), default=None)
+    p_sweep.add_argument("--combos-per-class", type=int, default=None)
+
+    sub.add_parser("overhead", help="storage-overhead analysis (Tables 2-3)")
+    return parser
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    config = scaled_config(args.scale, seed=args.seed)
+    dist = figure_distribution(
+        args.benchmark,
+        num_sets=config.l2.num_sets,
+        intervals=args.intervals,
+        interval_accesses=args.interval_accesses,
+        seed=args.seed,
+    )
+    print(render_char(dist, max_rows=20))
+    verdict = "NON-UNIFORM" if dist.is_non_uniform() else "uniform"
+    print(
+        f"\ngiver share {dist.giver_fraction():.1%}, "
+        f"taker share {dist.taker_fraction():.1%}, "
+        f"score {dist.nonuniformity_score():.3f} -> {verdict}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = scaled_config(args.scale, seed=args.seed)
+    plan = _plan_for(args.scale, args.seed)
+    if args.mix:
+        mix = get_mix(args.mix)
+    else:
+        mix = WorkloadMix(mix_id="custom", mix_class="custom",
+                          programs=tuple(args.programs))
+    print(f"mix {mix.mix_id}: {' + '.join(mix.programs)}  (scale={args.scale})")
+    combo = run_combo(mix, config, plan, schemes=tuple(args.schemes))
+    rows = [
+        [name, m["throughput"], m["aws"], m["fs"]]
+        for name, m in combo.metrics.items()
+    ]
+    print(render_table(
+        ["scheme", "throughput", "aws", "fs"],
+        rows,
+        title="Normalized to L2P",
+    ))
+    if combo.cc_best_prob is not None:
+        print(f"CC(Best) spill probability: {combo.cc_best_prob:.0%}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = scaled_config(args.scale, seed=args.seed)
+    plan = _plan_for(args.scale, args.seed)
+    data = evaluate_all(
+        config,
+        plan,
+        classes=args.classes,
+        combos_per_class=args.combos_per_class,
+    )
+    for metric in ("throughput", "aws", "fs"):
+        print()
+        print(render_figure(data, metric))
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    grid = SnugOverheadModel.table3()
+    rows = [
+        [f"{lb} B/line", format_pct(grid[(32, lb)]), format_pct(grid[(44, lb)])]
+        for lb in (64, 128)
+    ]
+    print(render_table(
+        ["", "32-bit addr", "64-bit addr (44 used)"],
+        rows,
+        title="Table 3: SNUG storage overhead",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "characterize": _cmd_characterize,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "overhead": _cmd_overhead,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Configuration problems raise :class:`ConfigError` at
+construction time rather than failing deep inside a simulation loop.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class TraceError(ReproError, ValueError):
+    """A trace is malformed (wrong dtype, negative gaps, empty, ...)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an impossible internal state.
+
+    Raised by internal invariant checks; seeing this indicates a bug in the
+    library, not in user input.
+    """
+
+
+class WorkloadError(ReproError, KeyError):
+    """An unknown benchmark or workload-combination name was requested."""

@@ -1,0 +1,71 @@
+"""Deterministic random-number-stream management.
+
+Every stochastic component (workload generators, CC spill coin flips, DSR
+peer choice, ...) draws from its own named child stream derived from a single
+master seed, so
+
+* two simulations with the same seed are bit-identical, and
+* adding a new consumer of randomness does not perturb existing streams.
+
+This mirrors the ``numpy.random.SeedSequence.spawn`` discipline recommended
+for parallel/HPC reproducibility.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["RngFactory", "derive_seed"]
+
+
+def derive_seed(master_seed: int, *names: str | int) -> int:
+    """Derive a stable 64-bit child seed from *master_seed* and a name path.
+
+    The derivation hashes the textual path with CRC32 folding, which is cheap
+    and stable across Python versions (unlike ``hash``).
+    """
+    h = master_seed & 0xFFFFFFFF
+    for name in names:
+        h = zlib.crc32(str(name).encode("utf-8"), h) & 0xFFFFFFFF
+    # Mix the high bits back in so master seeds > 32 bits still matter.
+    return ((master_seed >> 32) << 32) ^ h
+
+
+class RngFactory:
+    """Factory producing independent, named :class:`numpy.random.Generator` s.
+
+    Parameters
+    ----------
+    master_seed:
+        The single seed that determines every stream in a simulation.
+
+    Examples
+    --------
+    >>> f = RngFactory(42)
+    >>> g1 = f.stream("workload", "ammp", 0)
+    >>> g2 = f.stream("workload", "ammp", 0)
+    >>> bool((g1.integers(0, 100, 5) == g2.integers(0, 100, 5)).all())
+    True
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        if master_seed < 0:
+            raise ValueError("master_seed must be non-negative")
+        self.master_seed = int(master_seed)
+
+    def seed_for(self, *names: str | int) -> int:
+        """Return the derived integer seed for a named stream."""
+        return derive_seed(self.master_seed, *names)
+
+    def stream(self, *names: str | int) -> np.random.Generator:
+        """Return a fresh :class:`numpy.random.Generator` for a named stream.
+
+        Repeated calls with the same names return independent generator
+        objects positioned at the same starting state.
+        """
+        return np.random.default_rng(self.seed_for(*names))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngFactory(master_seed={self.master_seed})"

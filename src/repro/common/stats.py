@@ -1,0 +1,77 @@
+"""Lightweight hierarchical event counters.
+
+Every component (cache slice, bus, DRAM, scheme controller) owns a
+:class:`StatGroup`; groups nest to form a tree that can be flattened into a
+plain ``dict`` for reporting or assertion in tests.  Counter access is plain
+attribute-free dict indexing to keep the simulator hot path cheap.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Mapping
+
+__all__ = ["StatGroup"]
+
+
+class StatGroup:
+    """A named bag of integer counters with nested child groups.
+
+    Examples
+    --------
+    >>> root = StatGroup("cmp")
+    >>> cache = root.child("l2_0")
+    >>> cache.add("hits")
+    >>> cache.add("hits", 2)
+    >>> root.flatten()["l2_0.hits"]
+    3
+    """
+
+    __slots__ = ("name", "counters", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.children: Dict[str, "StatGroup"] = {}
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """Increment counter *key* by *amount* (creating it at zero)."""
+        self.counters[key] += amount
+
+    def get(self, key: str) -> int:
+        """Return counter *key*, or 0 if never touched."""
+        return self.counters.get(key, 0)
+
+    def child(self, name: str) -> "StatGroup":
+        """Return (creating on first use) the child group *name*."""
+        group = self.children.get(name)
+        if group is None:
+            group = StatGroup(name)
+            self.children[name] = group
+        return group
+
+    def reset(self) -> None:
+        """Zero every counter in this group and all children."""
+        self.counters.clear()
+        for childgroup in self.children.values():
+            childgroup.reset()
+
+    def flatten(self, prefix: str = "") -> Dict[str, int]:
+        """Flatten the tree into ``{"path.to.counter": value}``."""
+        out: Dict[str, int] = {}
+        for key, value in self.counters.items():
+            out[prefix + key] = value
+        for name, childgroup in self.children.items():
+            out.update(childgroup.flatten(prefix + name + "."))
+        return out
+
+    def merge_from(self, other: Mapping[str, int]) -> None:
+        """Add a flat mapping of counters into this group."""
+        for key, value in other.items():
+            self.counters[key] += value
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(self.flatten().items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StatGroup({self.name!r}, {dict(self.counters)!r}, children={list(self.children)})"

@@ -1,0 +1,6 @@
+"""Timing cores and the CMP event loop."""
+
+from .cmp import CmpSystem, SimResult
+from .cpu import TraceCore
+
+__all__ = ["CmpSystem", "SimResult", "TraceCore"]

@@ -1,0 +1,117 @@
+"""Section 2 characterization experiments: Figures 1–3 and the 26-program survey.
+
+:func:`figure_distribution` regenerates one of Figures 1–3 (the stacked
+set-level demand distribution of a single program over sampling intervals);
+:func:`survey_26` reproduces the Section 2.3 conclusion that exactly seven
+of the 26 SPEC2000 programs exhibit strong, exploitable set-level
+non-uniformity of capacity demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.demand import DemandDistribution, bucket_bounds, characterize_trace
+from ..analysis.report import render_distribution, render_table
+from ..workloads.spec2000 import benchmark_names, make_benchmark_trace
+
+__all__ = ["figure_distribution", "SurveyRow", "survey_26", "render_survey"]
+
+
+def figure_distribution(
+    benchmark: str,
+    *,
+    num_sets: int = 64,
+    intervals: int = 40,
+    interval_accesses: int = 2000,
+    a_threshold: int = 32,
+    m: int = 8,
+    seed: int = 0,
+) -> DemandDistribution:
+    """Characterize one benchmark (Figures 1–3 use ammp / vortex / applu).
+
+    Paper-parity parameters are ``num_sets=1024``, ``intervals=1000``,
+    ``interval_accesses=100_000``; the defaults are a proportional scale-down.
+    """
+    trace = make_benchmark_trace(
+        benchmark, num_sets, intervals * interval_accesses, seed=seed
+    )
+    return characterize_trace(
+        trace,
+        num_sets,
+        a_threshold=a_threshold,
+        m=m,
+        interval_accesses=interval_accesses,
+        max_intervals=intervals,
+    )
+
+
+def render_figure(dist: DemandDistribution, *, max_rows: int = 20) -> str:
+    """Figures 1–3 as text: bucket share per sampled interval."""
+    labels = [f"{lo}~{hi}" for lo, hi in bucket_bounds(dist.a_threshold, dist.m)]
+    return render_distribution(
+        dist.sizes,
+        labels,
+        title=f"Set-level capacity demand distribution: {dist.name}",
+        max_rows=max_rows,
+    )
+
+
+@dataclass
+class SurveyRow:
+    """One program's verdict in the Section 2.3 survey."""
+
+    benchmark: str
+    giver_fraction: float
+    taker_fraction: float
+    score: float
+    non_uniform: bool
+
+
+def survey_26(
+    *,
+    num_sets: int = 64,
+    intervals: int = 12,
+    interval_accesses: int = 1500,
+    seed: int = 0,
+    threshold: float = 0.08,
+) -> List[SurveyRow]:
+    """Characterize all 26 programs and classify their non-uniformity."""
+    rows: List[SurveyRow] = []
+    for name in benchmark_names():
+        dist = figure_distribution(
+            name,
+            num_sets=num_sets,
+            intervals=intervals,
+            interval_accesses=interval_accesses,
+            seed=seed,
+        )
+        rows.append(
+            SurveyRow(
+                benchmark=name,
+                giver_fraction=dist.giver_fraction(),
+                taker_fraction=dist.taker_fraction(),
+                score=dist.nonuniformity_score(),
+                non_uniform=dist.is_non_uniform(threshold),
+            )
+        )
+    return rows
+
+
+def render_survey(rows: List[SurveyRow]) -> str:
+    """The survey as a table, non-uniform programs flagged."""
+    table_rows = [
+        [r.benchmark, r.giver_fraction, r.taker_fraction, r.score, "NON-UNIFORM" if r.non_uniform else "uniform"]
+        for r in rows
+    ]
+    return render_table(
+        ["benchmark", "giver_frac", "taker_frac", "score", "verdict"],
+        table_rows,
+        title="Section 2.3 survey: set-level non-uniformity of capacity demand",
+    )
+
+
+def non_uniform_names(rows: List[SurveyRow]) -> List[str]:
+    """Names classified non-uniform (paper: the 7 of Section 2.3)."""
+    return sorted(r.benchmark for r in rows if r.non_uniform)

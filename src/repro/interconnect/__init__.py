@@ -1,0 +1,5 @@
+"""On-chip interconnect models."""
+
+from .bus import SnoopBus
+
+__all__ = ["SnoopBus"]

@@ -1,0 +1,7 @@
+"""Memory-hierarchy substrate below the L2 schemes: addressing, DRAM, write buffer."""
+
+from .address import CORE_ID_SHIFT, AddressMap, core_address_base
+from .dram import Dram
+from .writebuffer import WriteBackBuffer
+
+__all__ = ["CORE_ID_SHIFT", "AddressMap", "core_address_base", "Dram", "WriteBackBuffer"]

@@ -1,0 +1,112 @@
+"""Address decomposition for set-associative caches.
+
+An :class:`AddressMap` fixes the ``| tag | index | offset |`` split of a byte
+address for a given cache geometry and provides the compose/decompose
+primitives every scheme uses.  Workload traces in this package operate on
+*block addresses* (byte address >> offset_bits) because the L2 never needs
+sub-line resolution; the map supports both views.
+
+Multiprogrammed workloads (the paper's setting) have disjoint address spaces
+per core.  :func:`core_address_base` reserves high address bits for a core id
+so four co-scheduled programs can never alias, while low-order index/tag
+behaviour is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.bitops import log2_exact, mask
+from ..common.config import CacheGeometry
+
+__all__ = ["AddressMap", "core_address_base", "CORE_ID_SHIFT"]
+
+#: Bit position where the owning core's id is placed inside a block address.
+#: 2^48 blocks of private space per core is far beyond any trace we generate.
+CORE_ID_SHIFT = 48
+
+
+def core_address_base(core_id: int) -> int:
+    """Return the base *block address* of core *core_id*'s private space."""
+    if core_id < 0:
+        raise ValueError("core id must be non-negative")
+    return core_id << CORE_ID_SHIFT
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Maps block addresses to (tag, set index) for one cache geometry.
+
+    Parameters
+    ----------
+    num_sets:
+        Number of sets the index field must address.
+    line_bytes:
+        Line size; only needed when converting byte addresses.
+
+    Notes
+    -----
+    All per-access methods take *block* addresses.  Use
+    :meth:`block_of_byte` / :meth:`byte_of_block` to convert.
+    """
+
+    num_sets: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        # Validate eagerly; log2_exact raises ConfigError on bad geometry.
+        log2_exact(self.num_sets, what="num_sets")
+        log2_exact(self.line_bytes, what="line_bytes")
+
+    @classmethod
+    def for_geometry(cls, geometry: CacheGeometry) -> "AddressMap":
+        """Build the map matching a :class:`CacheGeometry`."""
+        return cls(num_sets=geometry.num_sets, line_bytes=geometry.line_bytes)
+
+    @property
+    def index_bits(self) -> int:
+        return log2_exact(self.num_sets, what="num_sets")
+
+    @property
+    def offset_bits(self) -> int:
+        return log2_exact(self.line_bytes, what="line_bytes")
+
+    # -- block-address view -------------------------------------------------
+
+    def set_index(self, block_addr: int) -> int:
+        """Set index of a block address."""
+        return block_addr & (self.num_sets - 1)
+
+    def tag(self, block_addr: int) -> int:
+        """Tag of a block address (everything above the index field)."""
+        return block_addr >> self.index_bits
+
+    def block_from(self, tag: int, set_index: int) -> int:
+        """Recompose a block address from (tag, set index)."""
+        if not 0 <= set_index < self.num_sets:
+            raise ValueError(f"set index {set_index} out of range [0, {self.num_sets})")
+        return (tag << self.index_bits) | set_index
+
+    # -- byte-address view ---------------------------------------------------
+
+    def block_of_byte(self, byte_addr: int) -> int:
+        """Block address containing a byte address."""
+        return byte_addr >> self.offset_bits
+
+    def byte_of_block(self, block_addr: int) -> int:
+        """First byte address of a block."""
+        return block_addr << self.offset_bits
+
+    def offset(self, byte_addr: int) -> int:
+        """Intra-line byte offset of a byte address."""
+        return byte_addr & mask(self.offset_bits)
+
+    # -- misc -----------------------------------------------------------------
+
+    def same_set(self, a: int, b: int) -> bool:
+        """True iff block addresses *a* and *b* map to the same set."""
+        return self.set_index(a) == self.set_index(b)
+
+    def flipped_index(self, set_index: int) -> int:
+        """The paired index under the paper's last-index-bit flipping."""
+        return set_index ^ 1

@@ -1,0 +1,28 @@
+"""The five L2 organizations evaluated in the paper (Section 4.1)."""
+
+from .base import AccessResult, L2Scheme, Outcome, PrivateL2Base
+from .cc import CooperativeCaching
+from .dsr import DynamicSpillReceive
+from .factory import SCHEMES, make_scheme, scheme_names
+from .l2p import PrivateL2
+from .l2s import SharedL2
+from .snug import STAGE_GROUP, STAGE_IDENTIFY, SnugCache
+from .snug_intra import SnugIntraCache
+
+__all__ = [
+    "AccessResult",
+    "L2Scheme",
+    "Outcome",
+    "PrivateL2Base",
+    "CooperativeCaching",
+    "DynamicSpillReceive",
+    "SCHEMES",
+    "make_scheme",
+    "scheme_names",
+    "PrivateL2",
+    "SharedL2",
+    "STAGE_GROUP",
+    "STAGE_IDENTIFY",
+    "SnugCache",
+    "SnugIntraCache",
+]

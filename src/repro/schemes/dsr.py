@@ -1,0 +1,150 @@
+"""DSR — Dynamic Spill-Receive (Qureshi, HPCA'09).
+
+Each private cache *learns* whether it should act as a **spiller** (its
+applications benefit from extra capacity — a "taker" application) or a
+**receiver** (it can host peers' victims with little harm — a "giver") using
+set dueling:
+
+* ``L`` *spiller-leader* sets always spill their clean victims;
+* ``L`` *receiver-leader* sets never spill (and can receive);
+* every other (follower) set adopts the policy currently winning the duel.
+
+A 10-bit PSEL counter arbitrates: a demand miss in a spiller-leader set
+decrements PSEL, a miss in a receiver-leader set increments it.  PSEL's MSB
+set means the spiller leaders are missing *less*, so spilling wins and the
+cache behaves as a spiller.
+
+Spilled lines go to the same-index set of a receiver-state peer (round-robin
+among current receivers); retrieval snoops all peers.  This is the paper's
+state-of-the-art comparison point: it exploits **application-level**
+non-uniformity of capacity demand, but a single policy bit per cache cannot
+express *set-level* diversity — SNUG's opening.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cache.block import CacheLine
+from ..cache.satcounter import SaturatingCounter
+from ..common.config import SystemConfig
+from .base import AccessResult, Outcome, PrivateL2Base
+
+__all__ = ["DynamicSpillReceive"]
+
+#: Leader-set roles.
+_FOLLOWER, _SPILL_LEADER, _RECV_LEADER = 0, 1, 2
+
+
+class DynamicSpillReceive(PrivateL2Base):
+    """Set-dueling spill/receive arbitration between private slices."""
+
+    name = "dsr"
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        n_sets = config.l2.num_sets
+        leaders = config.dsr.leader_sets_per_policy
+        region = n_sets // leaders
+        # Leader placement: one spiller leader at the start of each of the
+        # `leaders` equal regions, one receiver leader right after it.  This
+        # spreads both leader kinds uniformly over the index space (the
+        # "complement-select" style used in set-dueling literature).
+        self.set_role: List[int] = [_FOLLOWER] * n_sets
+        for r in range(leaders):
+            self.set_role[r * region] = _SPILL_LEADER
+            self.set_role[r * region + 1] = _RECV_LEADER
+        self.psel: List[SaturatingCounter] = [
+            SaturatingCounter(config.dsr.psel_bits) for _ in range(config.num_cores)
+        ]
+        self._rr = 0  # round-robin cursor over receiver peers
+
+    # -- policy queries ----------------------------------------------------
+
+    def cache_is_spiller(self, core: int) -> bool:
+        """Follower policy of *core*'s cache: True = spiller, False = receiver."""
+        return self.psel[core].msb
+
+    def _set_spills(self, core: int, set_index: int) -> bool:
+        role = self.set_role[set_index]
+        if role == _SPILL_LEADER:
+            return True
+        if role == _RECV_LEADER:
+            return False
+        return self.cache_is_spiller(core)
+
+    def _cache_receives(self, core: int) -> bool:
+        return not self.cache_is_spiller(core)
+
+    def _update_duel(self, core: int, set_index: int) -> None:
+        """Record a demand miss for the dueling machinery."""
+        role = self.set_role[set_index]
+        if role == _SPILL_LEADER:
+            self.psel[core].decrement()
+        elif role == _RECV_LEADER:
+            self.psel[core].increment()
+
+    # -- demand path ---------------------------------------------------------
+
+    def access(self, core: int, block_addr: int, is_write: bool, now: int) -> AccessResult:
+        local = self._local_paths(core, block_addr, is_write, now)
+        if local is not None:
+            return local
+        self.bus.snoop(now)
+        for peer in self.peers_of(core):
+            line = self.slices[peer].probe(block_addr)
+            if line is not None:
+                self.slices[peer].invalidate(block_addr)
+                self.stats.child(f"l2_{peer}").add("forwards")
+                delay = self.bus.transfer(now, self.config.l2.line_bytes)
+                fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
+                stall = self._refill(core, fill, now)
+                self.stats.child(f"l2_{core}").add("remote_hits")
+                return AccessResult(
+                    self.config.latency.l2_remote + delay + stall, Outcome.REMOTE_HIT
+                )
+        # Only true off-chip misses feed the duel: a reference satisfied by a
+        # peer (a successful spill paying off) must *not* count against the
+        # spill policy — that saved miss is exactly the signal set dueling
+        # exists to measure.
+        self._update_duel(core, self.amap.set_index(block_addr))
+        latency = self._memory_fetch(block_addr, now)
+        fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
+        stall = self._refill(core, fill, now)
+        self.stats.child(f"l2_{core}").add("dram_fetches")
+        return AccessResult(latency + stall, Outcome.MEMORY)
+
+    # -- spilling ------------------------------------------------------------
+
+    def _dispose_victim(self, core: int, victim: Optional[CacheLine], now: int) -> int:
+        if victim is None:
+            return 0
+        if victim.cc:
+            self.stats.child(f"l2_{core}").add("cc_evicted")
+            return 0
+        if victim.dirty:
+            return self._dispose_dirty(core, victim, now)
+        set_index = self.amap.set_index(victim.addr)
+        if self._set_spills(core, set_index):
+            self._spill(core, victim, now)
+        return 0
+
+    def _spill(self, owner: int, victim: CacheLine, now: int) -> None:
+        """Spill to the next receiver-state peer (round-robin); drop if none."""
+        receivers = [p for p in self.peers_of(owner) if self._cache_receives(p)]
+        if not receivers:
+            self.stats.child(f"l2_{owner}").add("spills_dropped")
+            return
+        host = receivers[self._rr % len(receivers)]
+        self._rr += 1
+        self.bus.snoop(now)
+        self.bus.transfer(now, self.config.l2.line_bytes)
+        hosted = CacheLine(addr=victim.addr, dirty=False, cc=True, owner=victim.owner)
+        host_victim = self.slices[host].fill(hosted)
+        self.stats.child(f"l2_{owner}").add("spills_out")
+        self.stats.child(f"l2_{host}").add("spills_hosted")
+        if host_victim is not None:
+            if host_victim.cc:
+                self.stats.child(f"l2_{host}").add("cc_evicted")
+            elif host_victim.dirty:
+                self._dispose_dirty(host, host_victim, now)

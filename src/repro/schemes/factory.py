@@ -1,0 +1,50 @@
+"""Scheme registry and factory."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..common.config import SystemConfig
+from ..common.errors import ConfigError
+from .base import L2Scheme
+from .cc import CooperativeCaching
+from .dsr import DynamicSpillReceive
+from .l2p import PrivateL2
+from .l2s import SharedL2
+from .snug import SnugCache
+from .snug_intra import SnugIntraCache
+
+__all__ = ["SCHEMES", "scheme_names", "make_scheme"]
+
+SCHEMES: Dict[str, Callable[[SystemConfig], L2Scheme]] = {
+    "l2p": PrivateL2,
+    "l2s": SharedL2,
+    "cc": CooperativeCaching,
+    "dsr": DynamicSpillReceive,
+    "snug": SnugCache,
+    "snug_intra": SnugIntraCache,
+}
+
+
+def scheme_names() -> List[str]:
+    """Names of the five evaluated L2 organizations, in the paper's order.
+
+    The future-work extension ``snug_intra`` is registered in :data:`SCHEMES`
+    but intentionally not part of the paper's five-scheme comparison.
+    """
+    return ["l2p", "l2s", "cc", "dsr", "snug"]
+
+
+def make_scheme(name: str, config: SystemConfig, **kwargs) -> L2Scheme:
+    """Instantiate a scheme by name.
+
+    Extra keyword arguments are forwarded to the scheme constructor
+    (e.g. ``spill_probability`` for ``cc``).
+    """
+    try:
+        ctor = SCHEMES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheme {name!r}; known: {', '.join(sorted(SCHEMES))}"
+        ) from None
+    return ctor(config, **kwargs)

@@ -1,0 +1,78 @@
+"""L2S — the shared, address-interleaved L2 organization (Section 1).
+
+The aggregate LLC capacity (``num_cores x slice``) is one logical cache
+physically split into per-core banks; consecutive block addresses interleave
+across banks.  A core enjoys the full aggregate capacity but pays the NUCA
+remote latency whenever the home bank is not its local one — the fundamental
+L2S trade-off the paper describes.
+
+Bank mapping: ``bank = block_addr & (num_banks - 1)``; the remaining bits
+form the bank-local block address used for indexing within the bank.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cache.block import CacheLine
+from ..cache.cache import SetAssocCache
+from ..common.bitops import log2_exact
+from ..common.config import SystemConfig
+from ..common.stats import StatGroup
+from ..mem.writebuffer import WriteBackBuffer
+from .base import AccessResult, L2Scheme, Outcome
+
+__all__ = ["SharedL2"]
+
+
+class SharedL2(L2Scheme):
+    """Address-interleaved shared L2 with NUCA latencies."""
+
+    name = "l2s"
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        n = config.num_cores
+        self.num_banks = n
+        self._bank_bits = log2_exact(n, what="num_cores")
+        self.banks: List[SetAssocCache] = [
+            SetAssocCache(config.l2, f"bank_{i}", self.stats.child(f"bank_{i}")) for i in range(n)
+        ]
+        self.wbufs: List[WriteBackBuffer] = [
+            WriteBackBuffer(config.write_buffer, self.stats.child(f"wbuf_{i}")) for i in range(n)
+        ]
+
+    def _route(self, block_addr: int) -> tuple[int, int]:
+        """Return ``(bank, bank_local_block_addr)`` for a block address."""
+        bank = block_addr & (self.num_banks - 1)
+        return bank, block_addr >> self._bank_bits
+
+    def _bank_latency(self, core: int, bank: int) -> int:
+        lat = self.config.latency
+        return lat.l2_local if bank == core else lat.l2_remote
+
+    def access(self, core: int, block_addr: int, is_write: bool, now: int) -> AccessResult:
+        bank, local_addr = self._route(block_addr)
+        bstats: StatGroup = self.stats.child(f"bank_{bank}")
+        base = self._bank_latency(core, bank)
+        if bank != core:
+            self.bus.snoop(now)
+        line = self.banks[bank].lookup(local_addr)
+        if line is not None:
+            if is_write:
+                line.dirty = True
+            return AccessResult(base, Outcome.LOCAL_HIT if bank == core else Outcome.REMOTE_HIT)
+        if self.wbufs[bank].try_read(local_addr, now):
+            stall = self._fill(bank, local_addr, dirty=True, owner=core, now=now)
+            return AccessResult(base + stall, Outcome.WBUF_HIT)
+        latency = self._memory_fetch(block_addr, now)
+        stall = self._fill(bank, local_addr, dirty=is_write, owner=core, now=now)
+        bstats.add("dram_fetches")
+        return AccessResult(base + latency + stall, Outcome.MEMORY)
+
+    def _fill(self, bank: int, local_addr: int, *, dirty: bool, owner: int, now: int) -> int:
+        victim = self.banks[bank].fill(CacheLine(addr=local_addr, dirty=dirty, owner=owner))
+        if victim is not None and victim.dirty:
+            self.stats.child(f"bank_{bank}").add("writebacks")
+            return self.wbufs[bank].deposit(victim.addr, now)
+        return 0

@@ -1,0 +1,275 @@
+"""SNUG — Set-level Non-Uniformity identifier and Grouper (Section 3).
+
+Per-slice state beyond a plain private L2:
+
+* a **shadow tag set** per real set (same associativity, tags only) holding
+  locally-evicted clean lines' tags, strictly exclusive with the real set;
+* a per-set **demand monitor** (4-bit saturating counter + mod-p counter):
+  +1 per shadow hit, −1 per ``p`` hits on the real/shadow pair;
+* a per-set **G/T bit** (giver/taker) latched from the counter MSB at the
+  end of each Stage I sampling epoch;
+* per-line **CC** and **f** bits supporting the index-bit flipping grouper.
+
+Operation alternates between two globally-synchronized stages (Figure 5):
+
+* **Stage I (identify)** — ``identify_cycles`` long.  Demand monitors run;
+  retrieval requests are honoured but *spill requests are refused*.  At the
+  end, every set's G/T bit is latched and the counters reset.
+* **Stage II (group)** — ``group_cycles`` long.  Taker sets spill their
+  clean victims; peers host them in a same-index giver set (f=0) or, failing
+  that, the giver set with the last index bit flipped (f=1); if both
+  candidate sets are takers the peer stays silent (Figure 8).  Retrieval
+  consults each peer's G/T vector at the two candidate indices, yielding at
+  most one unambiguous probe per peer; the forwarding peer invalidates its
+  hosted copy.
+
+Epoch boundary hygiene (see DESIGN.md): hosted cooperative blocks whose set
+flips giver→taker would become unreachable under the G/T-gated lookup while
+still occupying capacity; we invalidate them at the flip (``cc_flushed``),
+preserving the "every on-chip block is reachable" invariant that the
+property tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..cache.block import CacheLine
+from ..cache.satcounter import DemandMonitorCounter
+from ..cache.shadowset import ShadowSet
+from ..common.config import SystemConfig
+from .base import AccessResult, Outcome, PrivateL2Base
+
+__all__ = ["SnugCache", "STAGE_IDENTIFY", "STAGE_GROUP"]
+
+STAGE_IDENTIFY = "identify"
+STAGE_GROUP = "group"
+
+
+class _SnugSlice:
+    """Per-core SNUG metadata: shadow sets, monitors and the G/T vector."""
+
+    __slots__ = ("shadows", "monitors", "gt_taker")
+
+    def __init__(self, num_sets: int, assoc: int, counter_bits: int, p: int) -> None:
+        self.shadows: List[ShadowSet] = [ShadowSet(assoc) for _ in range(num_sets)]
+        self.monitors: List[DemandMonitorCounter] = [
+            DemandMonitorCounter(counter_bits, p) for _ in range(num_sets)
+        ]
+        # All-giver before the first identification epoch completes: no set
+        # has demonstrated demand yet, so nothing spills.
+        self.gt_taker: List[bool] = [False] * num_sets
+
+
+class SnugCache(PrivateL2Base):
+    """The SNUG L2 organization for a CMP of private slices."""
+
+    name = "snug"
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        snug = config.snug
+        geo = config.l2
+        self.snug_cfg = snug
+        self.meta: List[_SnugSlice] = [
+            _SnugSlice(geo.num_sets, geo.assoc, snug.counter_bits, snug.p_threshold)
+            for _ in range(config.num_cores)
+        ]
+        self.stage = STAGE_IDENTIFY
+        self._stage_end = snug.identify_cycles
+        self.epoch = 0
+        self._spill_rr = 0  # rotating bus-arbitration start for spills
+
+    # -- stage machinery -----------------------------------------------------
+
+    def _advance_stage(self, now: int) -> None:
+        """Lazily apply stage transitions that *now* has crossed."""
+        while now >= self._stage_end:
+            if self.stage == STAGE_IDENTIFY:
+                self._latch_gt_vectors()
+                self.stage = STAGE_GROUP
+                self._stage_end += self.snug_cfg.group_cycles
+            else:
+                self.stage = STAGE_IDENTIFY
+                self.epoch += 1
+                self._stage_end += self.snug_cfg.identify_cycles
+                self.stats.add("epochs")
+
+    def _latch_gt_vectors(self) -> None:
+        """End of Stage I: latch counter MSBs into G/T vectors, reset monitors."""
+        flush = self.snug_cfg.flush_on_flip_to_taker
+        for core, meta in enumerate(self.meta):
+            takers = 0
+            for s, monitor in enumerate(meta.monitors):
+                new_taker = monitor.is_taker
+                if new_taker and not meta.gt_taker[s] and flush:
+                    self._flush_cc_in_set(core, s)
+                meta.gt_taker[s] = new_taker
+                takers += new_taker
+                monitor.reset()
+            self.stats.child(f"l2_{core}").add("taker_sets_latched", takers)
+
+    def _flush_cc_in_set(self, core: int, set_index: int) -> None:
+        """Invalidate hosted cooperative blocks in a set flipping to taker."""
+        lruset = self.slices[core].set_at(set_index)
+        doomed = [line for line in lruset if line.cc]
+        for line in doomed:
+            lruset.remove(line)
+            self.stats.child(f"l2_{core}").add("cc_flushed")
+
+    # -- demand path -----------------------------------------------------------
+
+    def _monitoring(self) -> bool:
+        """Whether demand monitors sample at the current stage."""
+        return self.stage == STAGE_IDENTIFY or self.snug_cfg.monitor_during_group
+
+    def _on_local_hit(self, core: int, block_addr: int, now: int) -> None:
+        if self._monitoring():
+            set_index = self.amap.set_index(block_addr)
+            self.meta[core].monitors[set_index].on_real_hit()
+
+    def access(self, core: int, block_addr: int, is_write: bool, now: int) -> AccessResult:
+        self._advance_stage(now)
+        local = self._local_paths(core, block_addr, is_write, now)
+        if local is not None:
+            return local
+
+        # Real-set miss: consult the shadow set (exclusivity maintained by
+        # invalidating the shadow entry as the block re-enters the real set).
+        set_index = self.amap.set_index(block_addr)
+        meta = self.meta[core]
+        if meta.shadows[set_index].hit_and_invalidate(block_addr):
+            self.stats.child(f"l2_{core}").add("shadow_hits")
+            if self._monitoring():
+                meta.monitors[set_index].on_shadow_hit()
+
+        # Retrieval: G/T-vector-gated peer lookup (<= 1 probe per peer).
+        self.bus.snoop(now)
+        found = self._retrieve(core, block_addr, set_index)
+        if found is not None:
+            peer, host_index = found
+            self.slices[peer].invalidate(block_addr, set_index=host_index)
+            self.stats.child(f"l2_{peer}").add("forwards")
+            delay = self.bus.transfer(now, self.config.l2.line_bytes)
+            fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
+            stall = self._refill(core, fill, now)
+            self.stats.child(f"l2_{core}").add("remote_hits")
+            return AccessResult(
+                self.config.latency.l2_remote_snug + delay + stall, Outcome.REMOTE_HIT
+            )
+
+        latency = self._memory_fetch(block_addr, now)
+        fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
+        stall = self._refill(core, fill, now)
+        self.stats.child(f"l2_{core}").add("dram_fetches")
+        return AccessResult(latency + stall, Outcome.MEMORY)
+
+    def _retrieve(
+        self, core: int, block_addr: int, set_index: int
+    ) -> Optional[Tuple[int, int]]:
+        """Locate a hosted copy of *block_addr*; return ``(peer, set_index)``.
+
+        Each peer inspects its G/T vector at ``set_index`` and at
+        ``set_index ^ 1``; only giver sets can host, so only those are
+        probed (Section 3.2's "at most one unambiguous search").
+        """
+        flipped = self.amap.flipped_index(set_index)
+        flip_enabled = self.snug_cfg.flip_enabled
+        for peer in self.peers_of(core):
+            gt = self.meta[peer].gt_taker
+            if not gt[set_index]:
+                line = self.slices[peer].probe(block_addr, set_index=set_index)
+                if line is not None and line.cc:
+                    return peer, set_index
+            if flip_enabled and not gt[flipped]:
+                line = self.slices[peer].probe(block_addr, set_index=flipped)
+                if line is not None and line.cc:
+                    return peer, flipped
+        return None
+
+    # -- eviction / spilling ------------------------------------------------------
+
+    def _dispose_victim(self, core: int, victim: Optional[CacheLine], now: int) -> int:
+        if victim is None:
+            return 0
+        if victim.cc:
+            self.stats.child(f"l2_{core}").add("cc_evicted")
+            return 0
+        if victim.dirty:
+            # Dirty victims go straight to the write buffer (Section 3.3);
+            # they are *not* shadowed: the shadow tracks only clean victims
+            # eligible for cooperative caching.
+            return self._dispose_dirty(core, victim, now)
+        set_index = self.amap.set_index(victim.addr)
+        self.meta[core].shadows[set_index].record_eviction(victim.addr)
+        if self.stage == STAGE_GROUP and self.meta[core].gt_taker[set_index]:
+            self._spill(core, victim, set_index, now)
+        return 0
+
+    def _spill(self, owner: int, victim: CacheLine, set_index: int, now: int) -> None:
+        """Broadcast a spill request; the first responding peer hosts.
+
+        Figure 8's three cases: a peer with a same-index giver responds in
+        the first arbitration round (f=0); failing that, a peer whose
+        flipped-index set is a giver responds (f=1); peers whose both
+        candidate sets are takers stay silent.  The arbitration start
+        rotates per spill, modelling a fair bus grant rather than always
+        favouring the requester's nearest neighbour.
+        """
+        self.bus.snoop(now)
+        flipped = self.amap.flipped_index(set_index)
+        flip_enabled = self.snug_cfg.flip_enabled
+        peers = self.peers_of(owner)
+        self._spill_rr += 1
+        start = self._spill_rr % len(peers)
+        ordered = peers[start:] + peers[:start]
+        candidate: Optional[Tuple[int, int, bool]] = None
+        for peer in ordered:
+            gt = self.meta[peer].gt_taker
+            if not gt[set_index]:
+                candidate = (peer, set_index, False)
+                break
+            if flip_enabled and not gt[flipped] and candidate is None:
+                candidate = (peer, flipped, True)
+        if candidate is not None:
+            peer, host_index, f_bit = candidate
+            self.bus.transfer(now, self.config.l2.line_bytes)
+            hosted = CacheLine(
+                addr=victim.addr, dirty=False, cc=True, f=f_bit, owner=victim.owner
+            )
+            host_victim = self.slices[peer].fill(hosted, set_index=host_index)
+            self.stats.child(f"l2_{owner}").add("spills_out")
+            self.stats.child(f"l2_{peer}").add("spills_hosted")
+            if f_bit:
+                self.stats.child(f"l2_{peer}").add("spills_hosted_flipped")
+            if host_victim is not None:
+                self._dispose_host_victim(peer, host_victim, host_index, now)
+            return
+        self.stats.child(f"l2_{owner}").add("spills_unplaced")
+
+    def _dispose_host_victim(
+        self, host: int, host_victim: CacheLine, host_index: int, now: int
+    ) -> None:
+        """Victim displaced by hosting a spill: never cascades another spill."""
+        if host_victim.cc:
+            self.stats.child(f"l2_{host}").add("cc_evicted")
+            return
+        if host_victim.dirty:
+            self._dispose_dirty(host, host_victim, now)
+            return
+        # A clean local line displaced by a hosted block is still a local
+        # eviction: the shadow set records it so the monitor can observe the
+        # hosting pressure in the next Stage I.
+        victim_set = self.amap.set_index(host_victim.addr)
+        if victim_set == host_index:
+            self.meta[host].shadows[victim_set].record_eviction(host_victim.addr)
+
+    # -- inspection helpers (tests / reports) ------------------------------------
+
+    def taker_fraction(self, core: int) -> float:
+        """Fraction of sets currently marked taker in *core*'s G/T vector."""
+        gt = self.meta[core].gt_taker
+        return sum(gt) / len(gt)
+
+    def finalize(self, now: int) -> None:
+        self._advance_stage(now)

@@ -1,0 +1,111 @@
+"""SNUG-Intra — the paper's stated future-work extension (Section 7).
+
+The conclusion sketches extending SNUG "to both intra- and inter-cache
+accesses": the published design only groups a taker set with *peer caches'*
+giver sets, leaving a local sharing opportunity on the table — when a taker
+set's own flip-neighbour (``s ^ 1``) in the *same* slice is a giver, the
+victim can be retained locally at the plain local-L2 latency, with no bus
+transaction at all.
+
+SNUG-Intra implements that extension on top of :class:`SnugCache`:
+
+* **Spill order** — local flipped giver set first (f=1, CC=1, no bus
+  traffic, retrieval at ``l2_local``), then the inter-cache Figure 8 cases.
+* **Retrieval order** — the local flipped set is probed before the bus
+  snoop; a local hit there costs ``l2_local`` and re-homes the block.
+* Identification, coherence rules and epoch machinery are inherited
+  unchanged, so ablating inter- vs intra+inter isolates exactly the
+  extension's contribution (see ``benchmarks/test_bench_ext_intra.py``).
+
+A hosted *local* line keeps ``owner == core``; the CC bit distinguishes it
+from demand-resident lines, and the f bit records the flip exactly as in
+the inter-cache case, so the hardware cost is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cache.block import CacheLine
+from ..common.config import SystemConfig
+from .base import AccessResult, Outcome
+from .snug import STAGE_GROUP, SnugCache
+
+__all__ = ["SnugIntraCache"]
+
+
+class SnugIntraCache(SnugCache):
+    """SNUG extended with intra-cache flipped-set grouping."""
+
+    name = "snug_intra"
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+
+    # -- demand path ---------------------------------------------------------
+
+    def access(self, core: int, block_addr: int, is_write: bool, now: int) -> AccessResult:
+        self._advance_stage(now)
+        local = self._local_paths(core, block_addr, is_write, now)
+        if local is not None:
+            return local
+
+        set_index = self.amap.set_index(block_addr)
+        meta = self.meta[core]
+        if meta.shadows[set_index].hit_and_invalidate(block_addr):
+            self.stats.child(f"l2_{core}").add("shadow_hits")
+            if self._monitoring():
+                meta.monitors[set_index].on_shadow_hit()
+
+        # Intra-cache retrieval: the local flipped giver set, before any
+        # bus transaction.
+        if self.snug_cfg.flip_enabled:
+            flipped = self.amap.flipped_index(set_index)
+            if not meta.gt_taker[flipped]:
+                line = self.slices[core].probe(block_addr, set_index=flipped)
+                if line is not None and line.cc:
+                    self.slices[core].invalidate(block_addr, set_index=flipped)
+                    fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
+                    stall = self._refill(core, fill, now)
+                    self.stats.child(f"l2_{core}").add("intra_hits")
+                    return AccessResult(
+                        self.config.latency.l2_local + stall, Outcome.LOCAL_HIT
+                    )
+
+        self.bus.snoop(now)
+        found = self._retrieve(core, block_addr, set_index)
+        if found is not None:
+            peer, host_index = found
+            self.slices[peer].invalidate(block_addr, set_index=host_index)
+            self.stats.child(f"l2_{peer}").add("forwards")
+            delay = self.bus.transfer(now, self.config.l2.line_bytes)
+            fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
+            stall = self._refill(core, fill, now)
+            self.stats.child(f"l2_{core}").add("remote_hits")
+            return AccessResult(
+                self.config.latency.l2_remote_snug + delay + stall, Outcome.REMOTE_HIT
+            )
+
+        latency = self._memory_fetch(block_addr, now)
+        fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
+        stall = self._refill(core, fill, now)
+        self.stats.child(f"l2_{core}").add("dram_fetches")
+        return AccessResult(latency + stall, Outcome.MEMORY)
+
+    # -- spilling ---------------------------------------------------------------
+
+    def _spill(self, owner: int, victim: CacheLine, set_index: int, now: int) -> None:
+        """Prefer the local flipped giver set; fall back to inter-cache."""
+        if self.snug_cfg.flip_enabled and self.stage == STAGE_GROUP:
+            flipped = self.amap.flipped_index(set_index)
+            meta = self.meta[owner]
+            if not meta.gt_taker[flipped]:
+                hosted = CacheLine(
+                    addr=victim.addr, dirty=False, cc=True, f=True, owner=owner
+                )
+                host_victim = self.slices[owner].fill(hosted, set_index=flipped)
+                self.stats.child(f"l2_{owner}").add("spills_intra")
+                if host_victim is not None:
+                    self._dispose_host_victim(owner, host_victim, flipped, now)
+                return
+        super()._spill(owner, victim, set_index, now)

@@ -1,0 +1,127 @@
+"""Workload combination classes C1–C6 (Tables 7 and 8).
+
+A :class:`WorkloadMix` names the four programs co-scheduled on the quad-core
+CMP.  The 21 combinations below transcribe Table 8 verbatim; classes C1/C2
+are the stress tests (four identical programs, no data sharing — the
+generator gives each instance a distinct temporal seed but the *same*
+intrinsic set-level demand map, see :mod:`repro.workloads.synthetic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..common.errors import WorkloadError
+from ..common.rng import derive_seed
+from .spec2000 import get_profile
+from .synthetic import generate_trace
+from .trace import Trace
+
+__all__ = ["WorkloadMix", "MIXES", "mix_classes", "mixes_in_class", "get_mix", "build_mix_traces"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One quad-program workload combination."""
+
+    mix_id: str
+    mix_class: str
+    programs: Tuple[str, str, str, str]
+
+    def __post_init__(self) -> None:
+        for prog in self.programs:
+            get_profile(prog)  # validates the name eagerly
+
+    @property
+    def is_stress_test(self) -> bool:
+        """C1/C2: four identical applications."""
+        return len(set(self.programs)) == 1
+
+
+def _mk(mix_class: str, idx: int, *programs: str) -> WorkloadMix:
+    return WorkloadMix(
+        mix_id=f"{mix_class.lower()}_{idx}",
+        mix_class=mix_class,
+        programs=tuple(programs),  # type: ignore[arg-type]
+    )
+
+
+#: Table 8, transcribed row by row.
+MIXES: Tuple[WorkloadMix, ...] = (
+    # C1: 4 identical class-A applications (stress test).
+    _mk("C1", 0, "ammp", "ammp", "ammp", "ammp"),
+    _mk("C1", 1, "parser", "parser", "parser", "parser"),
+    _mk("C1", 2, "vortex", "vortex", "vortex", "vortex"),
+    # C2: 4 identical class-C applications (stress test).
+    _mk("C2", 0, "vpr", "vpr", "vpr", "vpr"),
+    _mk("C2", 1, "bzip2", "bzip2", "bzip2", "bzip2"),
+    _mk("C2", 2, "mcf", "mcf", "mcf", "mcf"),
+    _mk("C2", 3, "art", "art", "art", "art"),
+    # C3: (2 x class A) + (2 x class C).
+    _mk("C3", 0, "ammp", "parser", "bzip2", "mcf"),
+    _mk("C3", 1, "parser", "vortex", "mcf", "art"),
+    _mk("C3", 2, "vortex", "ammp", "art", "vpr"),
+    # C4: (2 x class A) + (1 x class B) + (1 x class C).
+    _mk("C4", 0, "ammp", "parser", "apsi", "bzip2"),
+    _mk("C4", 1, "parser", "vortex", "gcc", "mcf"),
+    _mk("C4", 2, "vortex", "ammp", "apsi", "art"),
+    _mk("C4", 3, "ammp", "parser", "gcc", "vpr"),
+    # C5: (2 x class A) + (2 x class D).
+    _mk("C5", 0, "ammp", "parser", "swim", "mesa"),
+    _mk("C5", 1, "parser", "vortex", "mesa", "gzip"),
+    _mk("C5", 2, "vortex", "ammp", "swim", "gzip"),
+    # C6: (2 x class A) + (1 x class B) + (1 x class D).
+    _mk("C6", 0, "vortex", "ammp", "apsi", "gzip"),
+    _mk("C6", 1, "parser", "vortex", "gcc", "mesa"),
+    _mk("C6", 2, "ammp", "parser", "apsi", "swim"),
+    _mk("C6", 3, "vortex", "ammp", "gcc", "mesa"),
+)
+
+
+def mix_classes() -> List[str]:
+    """The six class labels in order."""
+    return ["C1", "C2", "C3", "C4", "C5", "C6"]
+
+
+def mixes_in_class(mix_class: str) -> List[WorkloadMix]:
+    """All Table 8 combinations of one class."""
+    out = [m for m in MIXES if m.mix_class == mix_class]
+    if not out:
+        raise WorkloadError(f"unknown workload class {mix_class!r}")
+    return out
+
+
+def get_mix(mix_id: str) -> WorkloadMix:
+    """Look up a combination by id (e.g. ``"c3_1"``)."""
+    for mix in MIXES:
+        if mix.mix_id == mix_id:
+            return mix
+    raise WorkloadError(f"unknown mix id {mix_id!r}")
+
+
+def build_mix_traces(
+    mix: WorkloadMix,
+    num_sets: int,
+    n_accesses: int,
+    seed: int = 0,
+) -> List[Trace]:
+    """Generate the four core-rebased traces of a combination.
+
+    Each slot gets an instance seed derived from ``(seed, mix_id, slot)``:
+    identical programs in stress tests interleave independently while their
+    intrinsic demand maps coincide.
+    """
+    traces: List[Trace] = []
+    for slot, prog in enumerate(mix.programs):
+        inst_seed = derive_seed(seed, mix.mix_id, slot)
+        trace = generate_trace(get_profile(prog), num_sets, n_accesses, inst_seed)
+        traces.append(trace.rebase(slot, name=f"{prog}@{slot}"))
+    return traces
+
+
+_counts = {}
+for _m in MIXES:
+    _counts[_m.mix_class] = _counts.get(_m.mix_class, 0) + 1
+assert _counts == {"C1": 3, "C2": 4, "C3": 3, "C4": 4, "C5": 3, "C6": 4}, _counts
+assert len(MIXES) == 21

@@ -1,0 +1,278 @@
+"""Synthetic models of the 26 SPEC CPU2000 benchmarks (Section 2.2 / Table 6).
+
+Each benchmark is a :class:`~repro.workloads.synthetic.WorkloadSpec` whose
+per-set demand bands are calibrated to the paper's characterization:
+
+* **Table 6 classes** —
+  class A: app demand > 1 MB *and* set-level non-uniform (ammp, parser,
+  vortex); class B: < 1 MB, non-uniform (apsi, gcc); class C: > 1 MB,
+  uniform (vpr, art, mcf, bzip2); class D: < 1 MB, uniform (gzip, swim,
+  mesa).
+* **Section 2.3** — exactly 7 of the 26 show strong set-level
+  non-uniformity: ammp, apsi, galgel, gcc, parser, twolf, vortex.
+* **Figures 1–3 signatures** — ammp: ~40 % of sets need only 1–4 blocks
+  while the rest are capacity-starved; vortex: a distinct middle phase with
+  ~15 % / 9 % / 7 % of sets in the 1–4 / 5–8 / 9–12 buckets; applu: a
+  streaming program whose sets all sit in the 1–4 bucket.
+
+Demand is expressed in *blocks per set* against the paper's 16-way baseline:
+sets with ``W <= 8`` are capacity donors (givers), ``W in (16, 32]`` are the
+takers that profit from doubled capacity.  Footprints scale with the
+configured number of sets, so the class A/B ("> 1 MB" / "< 1 MB") boundary
+holds at any simulation scale as "above/below one slice".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..common.errors import WorkloadError
+from .synthetic import Band, Phase, WorkloadSpec, generate_trace
+from .trace import Trace
+
+__all__ = [
+    "PROFILES",
+    "CLASS_A",
+    "CLASS_B",
+    "CLASS_C",
+    "CLASS_D",
+    "NON_UNIFORM_BENCHMARKS",
+    "benchmark_names",
+    "get_profile",
+    "make_benchmark_trace",
+]
+
+#: Table 6 workload classification.
+CLASS_A: Tuple[str, ...] = ("ammp", "parser", "vortex")
+CLASS_B: Tuple[str, ...] = ("apsi", "gcc")
+CLASS_C: Tuple[str, ...] = ("vpr", "art", "mcf", "bzip2")
+CLASS_D: Tuple[str, ...] = ("gzip", "swim", "mesa")
+
+#: Section 2.3: the 7 benchmarks with strong set-level non-uniformity.
+NON_UNIFORM_BENCHMARKS: Tuple[str, ...] = (
+    "ammp",
+    "apsi",
+    "galgel",
+    "gcc",
+    "parser",
+    "twolf",
+    "vortex",
+)
+
+
+def _uniform(name: str, lo: int, hi: int, *, stream: float = 0.0, rand: float = 0.5,
+             wf: float = 0.25, gap: float = 30.0, cls: str = "-", notes: str = "") -> WorkloadSpec:
+    """Helper for single-phase, single-band (set-level uniform) profiles."""
+    return WorkloadSpec(
+        name=name,
+        phases=(Phase(bands=(Band(1.0, lo, hi),), stream_frac=stream, random_frac=rand),),
+        write_fraction=wf,
+        mean_gap=gap,
+        app_class=cls,
+        notes=notes,
+    )
+
+
+PROFILES: Dict[str, WorkloadSpec] = {}
+
+
+def _register(spec: WorkloadSpec) -> None:
+    PROFILES[spec.name] = spec
+
+
+# ---------------------------------------------------------------------------
+# Class A: > 1 MB application demand, strongly set-level non-uniform.
+# ---------------------------------------------------------------------------
+
+_register(WorkloadSpec(
+    name="ammp",
+    phases=(
+        Phase(
+            bands=(Band(0.42, 1, 4), Band(0.58, 20, 30)),
+            stream_frac=0.02,
+            random_frac=0.40,
+        ),
+    ),
+    write_fraction=0.30,
+    mean_gap=22.0,
+    app_class="A",
+    notes="Fig.1: ~40% of sets need only 1-4 blocks for the whole run; "
+          "the rest are deep-capacity takers.",
+))
+
+_register(WorkloadSpec(
+    name="parser",
+    phases=(
+        Phase(
+            bands=(Band(0.32, 1, 8), Band(0.14, 9, 16), Band(0.54, 20, 28)),
+            stream_frac=0.03,
+            random_frac=0.42,
+        ),
+    ),
+    write_fraction=0.28,
+    mean_gap=26.0,
+    app_class="A",
+))
+
+_register(WorkloadSpec(
+    name="vortex",
+    phases=(
+        Phase(  # head section: mostly capacity-hungry
+            bands=(Band(0.12, 1, 4), Band(0.08, 5, 8), Band(0.80, 20, 29)),
+            duration=0.40,
+            stream_frac=0.02,
+            random_frac=0.42,
+        ),
+        Phase(  # Fig.2's middle window (intervals ~405-792): mixed demand
+            bands=(
+                Band(0.15, 1, 4),
+                Band(0.09, 5, 8),
+                Band(0.07, 9, 12),
+                Band(0.69, 20, 30),
+            ),
+            duration=0.39,
+            stream_frac=0.02,
+            random_frac=0.42,
+        ),
+        Phase(  # tail: back to the head regime
+            bands=(Band(0.12, 1, 4), Band(0.08, 5, 8), Band(0.80, 20, 29)),
+            duration=0.21,
+            stream_frac=0.02,
+            random_frac=0.42,
+        ),
+    ),
+    write_fraction=0.32,
+    mean_gap=24.0,
+    app_class="A",
+    notes="Fig.2: phase-dependent set-level demand mix.",
+))
+
+# ---------------------------------------------------------------------------
+# Class B: < 1 MB application demand, set-level non-uniform.
+# ---------------------------------------------------------------------------
+
+_register(WorkloadSpec(
+    name="apsi",
+    phases=(
+        Phase(
+            bands=(Band(0.50, 1, 4), Band(0.28, 5, 12), Band(0.22, 20, 28)),
+            stream_frac=0.03,
+            random_frac=0.42,
+        ),
+    ),
+    write_fraction=0.27,
+    mean_gap=34.0,
+    app_class="B",
+))
+
+_register(WorkloadSpec(
+    name="gcc",
+    phases=(
+        Phase(
+            bands=(Band(0.55, 1, 8), Band(0.25, 9, 16), Band(0.20, 20, 27)),
+            duration=0.5,
+            stream_frac=0.04,
+            random_frac=0.36,
+        ),
+        Phase(
+            bands=(Band(0.45, 1, 8), Band(0.20, 9, 16), Band(0.35, 20, 27)),
+            duration=0.5,
+            stream_frac=0.04,
+            random_frac=0.36,
+        ),
+    ),
+    write_fraction=0.30,
+    mean_gap=36.0,
+    app_class="B",
+))
+
+# ---------------------------------------------------------------------------
+# Class C: > 1 MB application demand, set-level uniform (every set hungry).
+# ---------------------------------------------------------------------------
+
+_register(_uniform("vpr", 20, 26, rand=0.72, wf=0.26, gap=24.0, cls="C"))
+_register(_uniform("art", 22, 30, stream=0.08, rand=0.60, wf=0.22, gap=15.0, cls="C"))
+_register(_uniform("mcf", 22, 30, stream=0.10, rand=0.56, wf=0.24, gap=12.0, cls="C",
+                   notes="memory-bound pointer chaser: lowest gap, deepest demand"))
+_register(_uniform("bzip2", 20, 25, rand=0.70, wf=0.30, gap=28.0, cls="C"))
+
+# ---------------------------------------------------------------------------
+# Class D: < 1 MB application demand, set-level uniform (capacity donors).
+# ---------------------------------------------------------------------------
+
+_register(_uniform("gzip", 4, 8, rand=0.55, wf=0.30, gap=24.0, cls="D"))
+_register(_uniform("swim", 1, 2, stream=0.60, rand=0.20, wf=0.35, gap=14.0, cls="D",
+                   notes="streaming floating-point kernel"))
+_register(_uniform("mesa", 5, 9, rand=0.55, wf=0.28, gap=30.0, cls="D"))
+
+# ---------------------------------------------------------------------------
+# The remaining SPEC2000 programs (characterization survey only).
+# galgel and twolf are the other two non-uniform programs of Section 2.3.
+# ---------------------------------------------------------------------------
+
+_register(WorkloadSpec(
+    name="galgel",
+    phases=(
+        Phase(
+            bands=(Band(0.35, 1, 4), Band(0.65, 20, 30)),
+            stream_frac=0.02,
+            random_frac=0.30,
+        ),
+    ),
+    write_fraction=0.26,
+    mean_gap=28.0,
+    app_class="-",
+    notes="non-uniform (Section 2.3) but not part of the Table 6 mixes",
+))
+
+_register(WorkloadSpec(
+    name="twolf",
+    phases=(
+        Phase(
+            bands=(Band(0.28, 1, 8), Band(0.72, 20, 27)),
+            stream_frac=0.02,
+            random_frac=0.34,
+        ),
+    ),
+    write_fraction=0.27,
+    mean_gap=27.0,
+    app_class="-",
+    notes="non-uniform (Section 2.3) but not part of the Table 6 mixes",
+))
+
+_register(_uniform("applu", 1, 1, stream=1.0, rand=0.0, wf=0.33, gap=20.0,
+                   notes="Fig.3: pure streaming; every set sits in the 1-4 bucket"))
+_register(_uniform("wupwise", 5, 8, rand=0.50, gap=34.0))
+_register(_uniform("mgrid", 1, 3, stream=0.50, rand=0.25, wf=0.32, gap=24.0))
+_register(_uniform("equake", 1, 4, stream=0.40, rand=0.30, wf=0.30, gap=22.0))
+_register(_uniform("crafty", 5, 8, rand=0.60, gap=40.0))
+_register(_uniform("facerec", 13, 16, rand=0.60, gap=30.0))
+_register(_uniform("lucas", 1, 2, stream=0.55, rand=0.20, wf=0.34, gap=26.0))
+_register(_uniform("fma3d", 13, 16, rand=0.50, gap=30.0))
+_register(_uniform("sixtrack", 1, 4, rand=0.50, gap=44.0))
+_register(_uniform("eon", 5, 8, rand=0.60, gap=42.0))
+_register(_uniform("perlbmk", 9, 12, rand=0.50, gap=36.0))
+_register(_uniform("gap", 9, 12, rand=0.50, gap=34.0))
+
+
+def benchmark_names() -> List[str]:
+    """All 26 modelled SPEC2000 benchmark names, sorted."""
+    return sorted(PROFILES)
+
+
+def get_profile(name: str) -> WorkloadSpec:
+    """Look up a benchmark model by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {', '.join(benchmark_names())}"
+        ) from None
+
+
+def make_benchmark_trace(name: str, num_sets: int, n_accesses: int, seed: int = 0) -> Trace:
+    """Generate an access trace for benchmark *name* (see :func:`generate_trace`)."""
+    return generate_trace(get_profile(name), num_sets, n_accesses, seed)
+
+
+assert len(PROFILES) == 26, "the SPEC CPU2000 suite has 26 programs"

@@ -1,0 +1,42 @@
+"""Shared helpers for driving L2 schemes directly in tests.
+
+The tiny geometry (16 sets, 4-way, 64 B lines) keeps hand-computed addresses
+readable: block address ``tag * 16 + set`` lives in set ``set``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.config import CacheGeometry, DsrConfig, SnugConfig, SystemConfig
+from repro.mem.address import core_address_base
+
+NUM_SETS = 16
+ASSOC = 4
+
+
+def tiny_system(**overrides) -> SystemConfig:
+    """A 16-set, 4-way quad-core system with short SNUG epochs."""
+    cfg = SystemConfig(
+        l2=CacheGeometry(size_bytes=4 << 10, assoc=ASSOC, line_bytes=64),
+        snug=SnugConfig(identify_cycles=1_000, group_cycles=10_000),
+        dsr=DsrConfig(leader_sets_per_policy=2),
+        seed=99,
+    )
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    return cfg
+
+
+def addr(core: int, set_index: int, tag: int) -> int:
+    """Block address of (core, set, tag) in the tiny geometry."""
+    return core_address_base(core) + tag * NUM_SETS + set_index
+
+
+def fill_set(scheme, core: int, set_index: int, n: int, t0: int = 0, start_tag: int = 0):
+    """Issue *n* distinct read accesses mapping to one set; returns end time."""
+    now = t0
+    for k in range(n):
+        res = scheme.access(core, addr(core, set_index, start_tag + k), False, now)
+        now += res.latency + 1
+    return now

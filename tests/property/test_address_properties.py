@@ -1,0 +1,46 @@
+"""Property tests for address decomposition."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.address import AddressMap, core_address_base
+
+geometries = st.sampled_from([(16, 64), (64, 64), (1024, 64), (512, 128)])
+addrs = st.integers(min_value=0, max_value=(1 << 52) - 1)
+
+
+class TestRoundTrip:
+    @given(geometries, addrs)
+    @settings(max_examples=150, deadline=None)
+    def test_tag_index_roundtrip(self, geo, addr):
+        amap = AddressMap(num_sets=geo[0], line_bytes=geo[1])
+        assert amap.block_from(amap.tag(addr), amap.set_index(addr)) == addr
+
+    @given(geometries, addrs)
+    @settings(max_examples=100, deadline=None)
+    def test_index_in_range(self, geo, addr):
+        amap = AddressMap(num_sets=geo[0], line_bytes=geo[1])
+        assert 0 <= amap.set_index(addr) < geo[0]
+
+    @given(geometries, addrs)
+    @settings(max_examples=100, deadline=None)
+    def test_byte_block_consistency(self, geo, addr):
+        amap = AddressMap(num_sets=geo[0], line_bytes=geo[1])
+        byte = amap.byte_of_block(addr)
+        assert amap.block_of_byte(byte) == addr
+        assert amap.offset(byte) == 0
+
+    @given(addrs, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_core_rebase_preserves_index(self, addr, core):
+        amap = AddressMap(num_sets=1024)
+        rebased = addr % (1 << 40) + core_address_base(core)
+        assert amap.set_index(rebased) == amap.set_index(addr % (1 << 40))
+
+    @given(st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=50, deadline=None)
+    def test_flip_is_involution_and_adjacent(self, idx):
+        amap = AddressMap(num_sets=1024)
+        f = amap.flipped_index(idx)
+        assert amap.flipped_index(f) == idx
+        assert abs(f - idx) == 1  # last-bit flip pairs neighbours

@@ -1,0 +1,90 @@
+"""Property-based tests on the LRU substrate (hypothesis).
+
+The paper's whole measurement methodology rests on the **stack property**
+of LRU (Mattson et al., 1970): a cache of associativity A+1 retains a
+superset of what a cache of associativity A retains.  These properties are
+checked on arbitrary reference strings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.block import CacheLine
+from repro.cache.lruset import LruSet
+from repro.cache.stackdist import StackDistanceSet
+
+refs = st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=300)
+
+
+def simulate_hits(stream, assoc):
+    """Hit count of a single LRU set of the given associativity."""
+    s = LruSet(assoc)
+    hits = 0
+    for a in stream:
+        if s.touch(a) is not None:
+            hits += 1
+        else:
+            s.insert(CacheLine(addr=a))
+    return hits
+
+
+class TestStackProperty:
+    @given(refs)
+    @settings(max_examples=60, deadline=None)
+    def test_miss_count_monotone_nonincreasing_in_assoc(self, stream):
+        """miss_count(S, I, A) >= miss_count(S, I, A+1) — Section 2.1.1."""
+        hits = [simulate_hits(stream, a) for a in range(1, 12)]
+        assert all(x <= y for x, y in zip(hits, hits[1:]))
+
+    @given(refs)
+    @settings(max_examples=60, deadline=None)
+    def test_profiler_matches_direct_simulation(self, stream):
+        """One stack-distance pass == simulating every associativity."""
+        prof = StackDistanceSet(12)
+        for a in stream:
+            prof.reference(a)
+        for assoc in range(1, 13):
+            assert prof.hit_count(assoc) == simulate_hits(stream, assoc)
+
+    @given(refs)
+    @settings(max_examples=60, deadline=None)
+    def test_block_required_saturates_hits(self, stream):
+        prof = StackDistanceSet(12)
+        for a in stream:
+            prof.reference(a)
+        req = prof.block_required()
+        assert 1 <= req <= 12
+        assert prof.hit_count(req) == prof.hit_count(12)
+
+    @given(refs)
+    @settings(max_examples=60, deadline=None)
+    def test_inclusion(self, stream):
+        """Smaller LRU set contents are a subset of a larger set's."""
+        small, large = LruSet(3), LruSet(6)
+        for a in stream:
+            for s in (small, large):
+                if s.touch(a) is None:
+                    s.insert(CacheLine(addr=a))
+        assert set(small.addrs()) <= set(large.addrs())
+
+
+class TestSetInvariants:
+    @given(refs, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_no_duplicates_and_bounded(self, stream, assoc):
+        s = LruSet(assoc)
+        for a in stream:
+            if s.touch(a) is None:
+                s.insert(CacheLine(addr=a))
+        addrs = s.addrs()
+        assert len(addrs) == len(set(addrs))
+        assert len(addrs) <= assoc
+
+    @given(refs)
+    @settings(max_examples=40, deadline=None)
+    def test_mru_is_last_touched(self, stream):
+        s = LruSet(4)
+        for a in stream:
+            if s.touch(a) is None:
+                s.insert(CacheLine(addr=a))
+        assert s.addrs()[0] == stream[-1]

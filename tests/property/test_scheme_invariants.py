@@ -1,0 +1,151 @@
+"""Property tests on the L2 schemes' global invariants.
+
+Random multiprogrammed access sequences are replayed against each scheme;
+after every few steps the on-chip state must satisfy:
+
+* **uniqueness** — a block address resides in at most one slice (the
+  paper's multiprogrammed no-data-sharing setting with forward-invalidate
+  coherence, Section 3.3);
+* **reachability (SNUG)** — every hosted cooperative block sits in a set
+  its G/T-gated retrieval can probe (giver at home index, or giver at the
+  flipped index with f=1);
+* **shadow exclusivity (SNUG)** — no tag is simultaneously in a real set
+  and its shadow set;
+* **occupancy bounds** — no set ever exceeds its associativity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import NUM_SETS, addr, tiny_system
+
+from repro.schemes.cc import CooperativeCaching
+from repro.schemes.dsr import DynamicSpillReceive
+from repro.schemes.l2p import PrivateL2
+from repro.schemes.snug import SnugCache
+
+# (core, set, tag, is_write) tuples; small tag space forces heavy reuse,
+# eviction and spilling.
+access_steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=NUM_SETS - 1),
+        st.integers(min_value=0, max_value=9),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=250,
+)
+
+
+def replay(scheme, steps, step_cycles=50):
+    now = 0
+    for core, set_index, tag, is_write in steps:
+        scheme.access(core, addr(core, set_index, tag), is_write, now)
+        now += step_cycles
+    return now
+
+
+def assert_unique_residency(scheme):
+    seen = {}
+    for i, sl in enumerate(scheme.slices):
+        for line in sl.resident():
+            assert line.addr not in seen, (
+                f"block {line.addr:#x} resident in slices {seen[line.addr]} and {i}"
+            )
+            seen[line.addr] = i
+
+
+def assert_occupancy_bounds(scheme):
+    for sl in scheme.slices:
+        for lruset in sl.sets:
+            assert len(lruset) <= lruset.assoc
+            addrs = lruset.addrs()
+            assert len(addrs) == len(set(addrs))
+
+
+SCHEMES = [
+    ("l2p", lambda cfg: PrivateL2(cfg)),
+    ("cc", lambda cfg: CooperativeCaching(cfg, spill_probability=1.0)),
+    ("dsr", lambda cfg: DynamicSpillReceive(cfg)),
+    ("snug", lambda cfg: SnugCache(cfg)),
+]
+
+
+class TestUniversalInvariants:
+    @given(access_steps)
+    @settings(max_examples=25, deadline=None)
+    def test_unique_residency_all_schemes(self, steps):
+        for _, ctor in SCHEMES:
+            scheme = ctor(tiny_system())
+            replay(scheme, steps)
+            assert_unique_residency(scheme)
+
+    @given(access_steps)
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_bounds_all_schemes(self, steps):
+        for _, ctor in SCHEMES:
+            scheme = ctor(tiny_system())
+            replay(scheme, steps)
+            assert_occupancy_bounds(scheme)
+
+
+class TestSnugInvariants:
+    @given(access_steps)
+    @settings(max_examples=25, deadline=None)
+    def test_hosted_blocks_reachable(self, steps):
+        scheme = SnugCache(tiny_system())
+        replay(scheme, steps)
+        for peer, sl in enumerate(scheme.slices):
+            gt = scheme.meta[peer].gt_taker
+            for set_index, lruset in enumerate(sl.sets):
+                for line in lruset:
+                    if not line.cc:
+                        continue
+                    home = scheme.amap.set_index(line.addr)
+                    if line.f:
+                        assert set_index == home ^ 1, "f bit inconsistent"
+                    else:
+                        assert set_index == home, "cc line outside home set"
+                    assert not gt[set_index], (
+                        "hosted block stranded in a taker set (unreachable "
+                        "under G/T-gated retrieval)"
+                    )
+
+    @given(access_steps)
+    @settings(max_examples=25, deadline=None)
+    def test_shadow_exclusive_with_real_set(self, steps):
+        scheme = SnugCache(tiny_system())
+        replay(scheme, steps)
+        for core, sl in enumerate(scheme.slices):
+            for set_index, shadow in enumerate(scheme.meta[core].shadows):
+                for tag in shadow.tags():
+                    assert sl.probe(tag) is None, (
+                        f"tag {tag:#x} in both real set and shadow set"
+                    )
+
+    @given(access_steps)
+    @settings(max_examples=25, deadline=None)
+    def test_shadow_bounded(self, steps):
+        scheme = SnugCache(tiny_system())
+        replay(scheme, steps)
+        for meta in scheme.meta:
+            for shadow in meta.shadows:
+                assert len(shadow) <= scheme.config.l2.assoc
+
+    @given(access_steps)
+    @settings(max_examples=15, deadline=None)
+    def test_cc_retrieval_equivalence(self, steps):
+        """Every resident block is found by its owner: replaying the exact
+        address from its owner core must not go to memory."""
+        scheme = SnugCache(tiny_system())
+        end = replay(scheme, steps)
+        # Collect residents before probing (probing mutates state).
+        resident = [
+            line.addr for sl in scheme.slices for line in sl.resident()
+        ]
+        for a in resident[:20]:
+            owner = a >> 48
+            res = scheme.access(int(owner), a, False, end)
+            assert res.outcome.value != "memory", f"resident block {a:#x} missed"
+            end += 50

@@ -1,0 +1,65 @@
+"""Property tests for trace generation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.synthetic import Band, Phase, WorkloadSpec, generate_trace
+
+specs = st.builds(
+    lambda lo, span, stream, rand, wf, gap: WorkloadSpec(
+        name="prop",
+        phases=(
+            Phase(
+                bands=(Band(1.0, lo, lo + span),),
+                stream_frac=stream,
+                random_frac=min(rand, 1.0 - stream),
+            ),
+        ),
+        write_fraction=wf,
+        mean_gap=gap,
+    ),
+    lo=st.integers(min_value=1, max_value=20),
+    span=st.integers(min_value=0, max_value=12),
+    stream=st.floats(min_value=0.0, max_value=0.5),
+    rand=st.floats(min_value=0.0, max_value=0.5),
+    wf=st.floats(min_value=0.0, max_value=1.0),
+    gap=st.floats(min_value=1.0, max_value=60.0),
+)
+
+
+class TestGeneratedTraces:
+    @given(specs, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid(self, spec, seed):
+        t = generate_trace(spec, 16, 400, seed=seed)
+        assert len(t) == 400
+        assert (t.gaps >= 1).all()
+        assert (t.addrs >= 0).all()
+
+    @given(specs)
+    @settings(max_examples=30, deadline=None)
+    def test_seed_zero_deterministic(self, spec):
+        a = generate_trace(spec, 16, 200, seed=0)
+        b = generate_trace(spec, 16, 200, seed=0)
+        assert (a.addrs == b.addrs).all()
+        assert (a.gaps == b.gaps).all()
+        assert (a.writes == b.writes).all()
+
+    @given(specs, st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_footprint_bounded_by_demand_plus_streams(self, spec, seed):
+        """Non-stream blocks per set never exceed the drawn W_s <= hi."""
+        t = generate_trace(spec, 16, 600, seed=seed)
+        band = spec.phases[0].bands[0]
+        loop_addrs = t.addrs[t.addrs < (1 << 20) * 16]
+        for s in range(16):
+            in_set = np.unique(loop_addrs[(loop_addrs % 16) == s])
+            assert len(in_set) <= band.hi
+
+    @given(specs, st.integers(min_value=0, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_stream_addresses_unique(self, spec, seed):
+        t = generate_trace(spec, 16, 600, seed=seed)
+        stream_addrs = t.addrs[t.addrs >= (1 << 20) * 16]
+        assert len(np.unique(stream_addrs)) == len(stream_addrs)

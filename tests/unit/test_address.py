@@ -1,0 +1,76 @@
+"""Unit tests for repro.mem.address."""
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.mem.address import CORE_ID_SHIFT, AddressMap, core_address_base
+
+
+class TestAddressMap:
+    def setup_method(self):
+        self.amap = AddressMap(num_sets=1024, line_bytes=64)
+
+    def test_index_and_tag_widths(self):
+        assert self.amap.index_bits == 10
+        assert self.amap.offset_bits == 6
+
+    def test_set_index_wraps(self):
+        assert self.amap.set_index(0) == 0
+        assert self.amap.set_index(1023) == 1023
+        assert self.amap.set_index(1024) == 0
+        assert self.amap.set_index(1025) == 1
+
+    def test_tag(self):
+        assert self.amap.tag(1024) == 1
+        assert self.amap.tag(1023) == 0
+
+    def test_roundtrip(self):
+        for addr in (0, 1, 1023, 1024, 123456789):
+            t, s = self.amap.tag(addr), self.amap.set_index(addr)
+            assert self.amap.block_from(t, s) == addr
+
+    def test_block_from_validates_index(self):
+        with pytest.raises(ValueError):
+            self.amap.block_from(0, 1024)
+
+    def test_byte_block_conversion(self):
+        assert self.amap.block_of_byte(0) == 0
+        assert self.amap.block_of_byte(63) == 0
+        assert self.amap.block_of_byte(64) == 1
+        assert self.amap.byte_of_block(1) == 64
+        assert self.amap.offset(67) == 3
+
+    def test_same_set(self):
+        assert self.amap.same_set(5, 5 + 1024)
+        assert not self.amap.same_set(5, 6)
+
+    def test_flipped_index(self):
+        assert self.amap.flipped_index(6) == 7
+        assert self.amap.flipped_index(7) == 6
+        assert self.amap.flipped_index(0) == 1
+
+    def test_for_geometry(self):
+        amap = AddressMap.for_geometry(CacheGeometry())
+        assert amap.num_sets == 1024
+
+    def test_bad_geometry_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            AddressMap(num_sets=100)
+
+
+class TestCoreAddressBase:
+    def test_disjoint_spaces(self):
+        assert core_address_base(0) == 0
+        assert core_address_base(1) == 1 << CORE_ID_SHIFT
+        assert core_address_base(2) != core_address_base(3)
+
+    def test_index_bits_unaffected(self):
+        amap = AddressMap(num_sets=1024)
+        addr = 12345
+        assert amap.set_index(addr) == amap.set_index(addr + core_address_base(3))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            core_address_base(-1)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.common.bitops."""
+
+import pytest
+
+from repro.common.bitops import (
+    align_down,
+    align_up,
+    extract_bits,
+    flip_bit,
+    is_pow2,
+    log2_exact,
+    mask,
+)
+from repro.common.errors import ConfigError
+
+
+class TestIsPow2:
+    def test_powers_of_two(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for v in (0, 3, 5, 6, 7, 9, 12, 100, 1000):
+            assert not is_pow2(v)
+
+    def test_negative(self):
+        assert not is_pow2(-4)
+        assert not is_pow2(-1)
+
+
+class TestLog2Exact:
+    def test_exact_values(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(2) == 1
+        assert log2_exact(1024) == 10
+        assert log2_exact(1 << 20) == 20
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ConfigError):
+            log2_exact(3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            log2_exact(0)
+
+    def test_error_mentions_name(self):
+        with pytest.raises(ConfigError, match="num_sets"):
+            log2_exact(7, what="num_sets")
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            mask(-1)
+
+
+class TestExtractBits:
+    def test_low_bits(self):
+        assert extract_bits(0b101101, 0, 3) == 0b101
+
+    def test_mid_bits(self):
+        assert extract_bits(0b101101, 2, 3) == 0b011
+
+    def test_beyond_value(self):
+        assert extract_bits(0b1, 5, 4) == 0
+
+
+class TestFlipBit:
+    def test_flip_low(self):
+        assert flip_bit(0b1010, 0) == 0b1011
+        assert flip_bit(0b1011, 0) == 0b1010
+
+    def test_involution(self):
+        for v in (0, 1, 5, 1023):
+            for b in range(6):
+                assert flip_bit(flip_bit(v, b), b) == v
+
+    def test_pairs_adjacent_sets(self):
+        # The paper's grouping: set s pairs with s ^ 1.
+        assert flip_bit(6, 0) == 7
+        assert flip_bit(7, 0) == 6
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(65, 64) == 64
+        assert align_down(64, 64) == 64
+        assert align_down(63, 64) == 0
+
+    def test_align_up(self):
+        assert align_up(65, 64) == 128
+        assert align_up(64, 64) == 64
+        assert align_up(1, 64) == 64
+
+    def test_bad_alignment(self):
+        with pytest.raises(ConfigError):
+            align_down(10, 3)
+        with pytest.raises(ConfigError):
+            align_up(10, 0)

@@ -1,0 +1,48 @@
+"""Unit tests for repro.interconnect.bus."""
+
+from repro.common.config import BusConfig
+from repro.interconnect.bus import SnoopBus
+
+
+class TestAccountingMode:
+    def test_no_delay_by_default(self):
+        bus = SnoopBus(BusConfig())
+        assert bus.snoop(0) == 0
+        assert bus.transfer(0, 64) == 0
+
+    def test_traffic_counted(self):
+        bus = SnoopBus(BusConfig())
+        bus.snoop(0)
+        bus.transfer(0, 64)
+        assert bus.stats.get("snoops") == 1
+        assert bus.stats.get("transfers") == 1
+        assert bus.stats.get("bytes") == 72  # 8 addr + 64 data
+        assert bus.stats.get("busy_cycles") > 0
+
+
+class TestContentionMode:
+    def cfg(self):
+        return BusConfig(model_contention=True)
+
+    def test_first_transfer_free(self):
+        bus = SnoopBus(self.cfg())
+        assert bus.transfer(0, 64) == 0
+
+    def test_back_to_back_queues(self):
+        bus = SnoopBus(self.cfg())
+        bus.transfer(0, 64)  # occupies 20 core cycles
+        delay = bus.transfer(0, 64)
+        assert delay == 20
+        assert bus.stats.get("queue_cycles") == 20
+
+    def test_spaced_transfers_free(self):
+        bus = SnoopBus(self.cfg())
+        bus.transfer(0, 64)
+        assert bus.transfer(100, 64) == 0
+
+    def test_reset(self):
+        bus = SnoopBus(self.cfg())
+        bus.transfer(0, 64)
+        bus.reset()
+        assert bus.transfer(0, 64) == 0
+        assert bus.stats.get("transfers") == 1

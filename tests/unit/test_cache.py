@@ -1,0 +1,93 @@
+"""Unit tests for repro.cache.cache (SetAssocCache)."""
+
+from repro.cache.block import CacheLine
+from repro.cache.cache import SetAssocCache
+from repro.common.config import CacheGeometry
+
+
+def small_cache():
+    # 4 KB, 4-way, 64 B lines -> 16 sets.
+    return SetAssocCache(CacheGeometry(size_bytes=4 << 10, assoc=4, line_bytes=64), "t")
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.lookup(5) is None
+        c.fill(CacheLine(addr=5))
+        assert c.lookup(5) is not None
+        assert c.stats.get("hits") == 1
+        assert c.stats.get("misses") == 1
+
+    def test_fill_evicts_lru_within_set(self):
+        c = small_cache()
+        base = 0
+        for i in range(4):
+            c.fill(CacheLine(addr=base + 16 * i))  # all set 0
+        victim = c.fill(CacheLine(addr=base + 16 * 4))
+        assert victim is not None
+        assert victim.addr == 0
+
+    def test_sets_are_independent(self):
+        c = small_cache()
+        for i in range(5):
+            c.fill(CacheLine(addr=16 * i))  # set 0 x5 -> one eviction
+        assert c.lookup(1) is None  # set 1 untouched
+        assert c.occupancy() == 4
+
+    def test_probe_does_not_touch(self):
+        c = small_cache()
+        for i in range(4):
+            c.fill(CacheLine(addr=16 * i))
+        c.probe(0)  # LRU stays LRU
+        victim = c.fill(CacheLine(addr=16 * 4))
+        assert victim.addr == 0
+
+    def test_set_index_override(self):
+        """Flipped-index placement: line lives in a set its index doesn't name."""
+        c = small_cache()
+        line = CacheLine(addr=2, cc=True, f=True)  # home set 2
+        c.fill(line, set_index=3)
+        assert c.probe(2) is None  # not in home set
+        assert c.probe(2, set_index=3) is line
+        assert c.invalidate(2, set_index=3) is line
+
+
+class TestInvalidate:
+    def test_invalidate_counts(self):
+        c = small_cache()
+        c.fill(CacheLine(addr=7))
+        assert c.invalidate(7) is not None
+        assert c.stats.get("invalidations") == 1
+        assert c.invalidate(7) is None
+
+    def test_clear(self):
+        c = small_cache()
+        c.fill(CacheLine(addr=1))
+        c.clear()
+        assert c.occupancy() == 0
+
+
+class TestOccupancy:
+    def test_cc_occupancy(self):
+        c = small_cache()
+        c.fill(CacheLine(addr=1))
+        c.fill(CacheLine(addr=2, cc=True))
+        assert c.occupancy() == 2
+        assert c.cc_occupancy() == 1
+
+    def test_resident_iterates_all(self):
+        c = small_cache()
+        for a in (1, 2, 35):
+            c.fill(CacheLine(addr=a))
+        assert sorted(l.addr for l in c.resident()) == [1, 2, 35]
+
+    def test_at_lru_insertion(self):
+        c = small_cache()
+        c.fill(CacheLine(addr=0))
+        c.fill(CacheLine(addr=16), at_lru=True)
+        victim = c.fill(CacheLine(addr=32))
+        assert victim is None  # set not yet full (4-way)
+        c.fill(CacheLine(addr=48))
+        victim = c.fill(CacheLine(addr=64))
+        assert victim.addr == 16  # the at_lru line went first

@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_characterize_args(self):
+        args = build_parser().parse_args(["characterize", "ammp"])
+        assert args.command == "characterize"
+        assert args.benchmark == "ammp"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "doom3"])
+
+    def test_run_mix_xor_programs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])  # neither given
+        args = build_parser().parse_args(["run", "--mix", "c3_0"])
+        assert args.mix == "c3_0"
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "overhead"])
+
+
+class TestCommands:
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "%" in out
+
+    def test_characterize_tiny(self, capsys):
+        rc = main([
+            "--scale", "tiny", "characterize", "applu",
+            "--intervals", "3", "--interval-accesses", "500",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "applu" in out and "uniform" in out
+
+    def test_run_tiny(self, capsys):
+        rc = main([
+            "--scale", "tiny", "run", "--mix", "c5_0",
+            "--schemes", "l2p", "snug",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "snug" in out and "Normalized to L2P" in out
+
+    def test_run_custom_programs(self, capsys):
+        rc = main([
+            "--scale", "tiny", "run",
+            "--programs", "gzip", "swim", "mesa", "applu",
+            "--schemes", "l2p", "dsr",
+        ])
+        assert rc == 0
+        assert "custom" in capsys.readouterr().out
+
+    def test_sweep_tiny(self, capsys):
+        rc = main([
+            "--scale", "tiny", "sweep", "--classes", "C5",
+            "--combos-per-class", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "Figure 11" in out

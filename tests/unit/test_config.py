@@ -1,0 +1,161 @@
+"""Unit tests for repro.common.config."""
+
+import pytest
+
+from repro.common.config import (
+    BusConfig,
+    CacheGeometry,
+    CcConfig,
+    DramConfig,
+    DsrConfig,
+    LatencyConfig,
+    SnugConfig,
+    SystemConfig,
+    WriteBufferConfig,
+    fast_config,
+    paper_config,
+    scaled_config,
+    tiny_config,
+)
+from repro.common.errors import ConfigError
+
+
+class TestCacheGeometry:
+    def test_paper_geometry(self):
+        g = CacheGeometry()  # 1 MB, 16-way, 64 B
+        assert g.num_sets == 1024
+        assert g.index_bits == 10
+        assert g.offset_bits == 6
+        assert g.num_lines == 16384
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=3 << 10)
+        with pytest.raises(ConfigError):
+            CacheGeometry(assoc=12)
+        with pytest.raises(ConfigError):
+            CacheGeometry(line_bytes=96)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=512, assoc=16, line_bytes=64)
+
+    def test_128b_lines(self):
+        g = CacheGeometry(line_bytes=128)
+        assert g.num_sets == 512
+        assert g.offset_bits == 7
+
+
+class TestLatencyConfig:
+    def test_paper_defaults(self):
+        lat = LatencyConfig()
+        assert lat.l1_hit == 1
+        assert lat.l2_local == 10
+        assert lat.l2_remote == 30
+        assert lat.l2_remote_snug == 40
+        assert lat.dram == 300
+
+    def test_remote_below_local_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(l2_local=20, l2_remote=10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(dram=-1)
+
+
+class TestBusConfig:
+    def test_line_transfer_cost(self):
+        bus = BusConfig()  # 16 B wide, 4:1, 1 bus-cycle arbitration
+        # 64 B = 4 beats + 1 arb = 5 bus cycles = 20 core cycles.
+        assert bus.transfer_cycles(64) == 20
+
+    def test_small_transfer(self):
+        assert BusConfig().transfer_cycles(8) == 8  # 1 beat + arb = 2 * 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BusConfig(width_bytes=12)
+        with pytest.raises(ConfigError):
+            BusConfig(speed_ratio=0)
+
+
+class TestSnugConfig:
+    def test_counter_init_is_msb_minus_one(self):
+        snug = SnugConfig(counter_bits=4)
+        assert snug.counter_init == 7
+        assert snug.counter_max == 15
+
+    def test_paper_epochs(self):
+        snug = SnugConfig()
+        assert snug.identify_cycles == 5_000_000
+        assert snug.group_cycles == 100_000_000
+
+    def test_p_must_be_pow2(self):
+        with pytest.raises(ConfigError):
+            SnugConfig(p_threshold=6)
+
+    def test_bad_counter_width(self):
+        with pytest.raises(ConfigError):
+            SnugConfig(counter_bits=1)
+
+
+class TestOtherConfigs:
+    def test_cc_probability_bounds(self):
+        CcConfig(spill_probability=0.0)
+        CcConfig(spill_probability=1.0)
+        with pytest.raises(ConfigError):
+            CcConfig(spill_probability=1.5)
+
+    def test_dsr_validation(self):
+        with pytest.raises(ConfigError):
+            DsrConfig(leader_sets_per_policy=0)
+        with pytest.raises(ConfigError):
+            DsrConfig(psel_bits=0)
+
+    def test_dram_validation(self):
+        with pytest.raises(ConfigError):
+            DramConfig(latency=0)
+        with pytest.raises(ConfigError):
+            DramConfig(num_banks=3)
+
+    def test_write_buffer_validation(self):
+        with pytest.raises(ConfigError):
+            WriteBufferConfig(entries=0)
+
+
+class TestSystemConfig:
+    def test_paper_config(self):
+        cfg = paper_config()
+        assert cfg.num_cores == 4
+        assert cfg.l2.num_sets == 1024
+        assert cfg.a_threshold == 32
+
+    def test_fast_config_preserves_ratios(self):
+        cfg = fast_config()
+        assert cfg.l2.assoc == 16
+        assert cfg.a_threshold == 32
+        assert cfg.snug.identify_cycles < cfg.snug.group_cycles
+
+    def test_tiny_config_valid(self):
+        cfg = tiny_config()
+        assert cfg.l2.num_sets == 16
+
+    def test_leader_sets_must_fit(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                l2=CacheGeometry(size_bytes=4 << 10, assoc=4),  # 16 sets
+                dsr=DsrConfig(leader_sets_per_policy=16),
+            )
+
+    def test_with_replaces_fields(self):
+        cfg = tiny_config()
+        cfg2 = cfg.with_(seed=999)
+        assert cfg2.seed == 999
+        assert cfg.seed != 999  # frozen original untouched
+
+    def test_scaled_config_names(self):
+        for name in ("tiny", "small", "medium", "paper"):
+            assert scaled_config(name).num_cores == 4
+        with pytest.raises(ConfigError):
+            scaled_config("huge")

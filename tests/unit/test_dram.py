@@ -1,0 +1,51 @@
+"""Unit tests for repro.mem.dram."""
+
+from repro.common.config import DramConfig
+from repro.mem.dram import Dram
+
+
+class TestFlatDram:
+    def test_fixed_latency(self):
+        dram = Dram(DramConfig(latency=300))
+        assert dram.access(0, now=0) == 300
+        assert dram.access(12345, now=999) == 300
+
+    def test_counts_reads_and_writes(self):
+        dram = Dram()
+        dram.access(0, 0)
+        dram.access(1, 1, is_write=True)
+        assert dram.stats.get("reads") == 1
+        assert dram.stats.get("writes") == 1
+
+    def test_reset(self):
+        dram = Dram()
+        dram.access(0, 0)
+        dram.reset()
+        assert dram.stats.get("reads") == 0
+
+
+class TestBankedDram:
+    def cfg(self):
+        return DramConfig(latency=100, num_banks=2, bank_busy_cycles=50, model_banks=True)
+
+    def test_no_conflict_when_spread(self):
+        dram = Dram(self.cfg())
+        assert dram.access(0, now=0) == 100  # bank 0
+        assert dram.access(1, now=0) == 100  # bank 1
+
+    def test_same_bank_conflict_queues(self):
+        dram = Dram(self.cfg())
+        assert dram.access(0, now=0) == 100
+        # Second access to bank 0 at t=0 waits 50 cycles for the busy window.
+        assert dram.access(2, now=0) == 150
+        assert dram.stats.get("bank_conflicts") == 1
+
+    def test_conflict_clears_after_busy_window(self):
+        dram = Dram(self.cfg())
+        dram.access(0, now=0)
+        assert dram.access(2, now=60) == 100  # bank free again
+
+    def test_busy_cycles_accumulate(self):
+        dram = Dram(self.cfg())
+        dram.access(0, 0)
+        assert dram.stats.get("busy_cycles") == 100

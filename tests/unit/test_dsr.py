@@ -1,0 +1,118 @@
+"""Unit tests for Dynamic Spill-Receive (DSR)."""
+
+from tests.helpers import addr, fill_set, tiny_system
+
+from repro.schemes.base import Outcome
+from repro.schemes.dsr import DynamicSpillReceive, _FOLLOWER, _RECV_LEADER, _SPILL_LEADER
+
+
+def make():
+    return DynamicSpillReceive(tiny_system())
+
+
+class TestLeaderLayout:
+    def test_leader_counts(self):
+        s = make()
+        assert s.set_role.count(_SPILL_LEADER) == 2
+        assert s.set_role.count(_RECV_LEADER) == 2
+        assert s.set_role.count(_FOLLOWER) == 12
+
+    def test_leaders_spread(self):
+        s = make()
+        assert s.set_role[0] == _SPILL_LEADER
+        assert s.set_role[1] == _RECV_LEADER
+        assert s.set_role[8] == _SPILL_LEADER
+        assert s.set_role[9] == _RECV_LEADER
+
+
+class TestDueling:
+    def test_initial_policy_is_receiver(self):
+        s = make()
+        assert not s.cache_is_spiller(0)
+
+    def test_dram_miss_in_recv_leader_pushes_toward_spiller(self):
+        s = make()
+        before = s.psel[0].value
+        s.access(0, addr(0, 1, 0), False, 0)  # set 1 = recv leader, cold miss
+        assert s.psel[0].value == before + 1
+
+    def test_dram_miss_in_spill_leader_pushes_toward_receiver(self):
+        s = make()
+        before = s.psel[0].value
+        s.access(0, addr(0, 0, 0), False, 0)  # set 0 = spill leader
+        assert s.psel[0].value == before - 1
+
+    def test_follower_miss_does_not_move_psel(self):
+        s = make()
+        before = s.psel[0].value
+        s.access(0, addr(0, 5, 0), False, 0)
+        assert s.psel[0].value == before
+
+    def test_remote_hit_does_not_move_psel(self):
+        """Only true off-chip misses feed the duel."""
+        s = make()
+        # Spill-leader set 0 of core 0: victim spilled, then retrieved.
+        fill_set(s, 0, 0, 5)
+        before = s.psel[0].value
+        res = s.access(0, addr(0, 0, 0), False, 50_000)
+        assert res.outcome is Outcome.REMOTE_HIT
+        assert s.psel[0].value == before
+
+    def test_psel_flip_changes_policy(self):
+        s = make()
+        for k in range(600):  # hammer recv-leader misses
+            s.access(0, addr(0, 1, 100 + k), False, k * 400)
+        assert s.cache_is_spiller(0)
+
+
+class TestSpillGating:
+    def test_spill_leader_always_spills(self):
+        s = make()
+        fill_set(s, 0, 0, 5)  # spill-leader set
+        assert s.flat_stats()["l2_0.spills_out"] == 1
+
+    def test_recv_leader_never_spills(self):
+        s = make()
+        fill_set(s, 0, 1, 8)  # recv-leader set
+        assert s.flat_stats().get("l2_0.spills_out", 0) == 0
+
+    def test_follower_follows_receiver_policy(self):
+        s = make()  # all caches start as receivers
+        fill_set(s, 0, 5, 8)  # follower set: receiver policy -> no spill
+        assert s.flat_stats().get("l2_0.spills_out", 0) == 0
+
+    def test_spill_goes_to_receiver_peer_same_index(self):
+        s = make()
+        fill_set(s, 0, 0, 5)
+        hosted = [
+            (i, line)
+            for i, sl in enumerate(s.slices)
+            for line in sl.resident()
+            if line.cc
+        ]
+        assert len(hosted) == 1
+        peer, line = hosted[0]
+        assert peer != 0
+        assert s.amap.set_index(line.addr) == 0
+
+    def test_no_receivers_drops_spill(self):
+        s = make()
+        for core in range(4):  # flip every cache to spiller
+            for k in range(600):
+                s.access(core, addr(core, 1, 100 + k), False, k * 400)
+        assert all(s.cache_is_spiller(c) for c in range(4))
+        before = s.flat_stats().get("l2_0.spills_dropped", 0)
+        fill_set(s, 0, 0, 6, t0=10_000_000, start_tag=900)
+        assert s.flat_stats()["l2_0.spills_dropped"] > before
+
+
+class TestRetrieval:
+    def test_forward_and_invalidate(self):
+        s = make()
+        victim = addr(0, 0, 0)
+        fill_set(s, 0, 0, 5)
+        res = s.access(0, victim, False, 60_000)
+        assert res.outcome is Outcome.REMOTE_HIT
+        assert s.slices[0].probe(victim) is not None
+        copies = sum(sl.probe(victim) is not None for sl in s.slices)
+        assert copies == 1  # host invalidated its forwarded copy

@@ -1,0 +1,30 @@
+"""Unit tests for the scheme factory."""
+
+import pytest
+
+from tests.helpers import tiny_system
+
+from repro.common.errors import ConfigError
+from repro.schemes.factory import SCHEMES, make_scheme, scheme_names
+
+
+class TestFactory:
+    def test_all_five_schemes(self):
+        assert scheme_names() == ["l2p", "l2s", "cc", "dsr", "snug"]
+        # The registry additionally carries the future-work extension.
+        assert set(SCHEMES) == {*scheme_names(), "snug_intra"}
+
+    def test_make_each(self):
+        cfg = tiny_system()
+        for name in SCHEMES:
+            scheme = make_scheme(name, cfg)
+            assert scheme.name == name
+
+    def test_kwargs_forwarded(self):
+        cfg = tiny_system()
+        cc = make_scheme("cc", cfg, spill_probability=0.25)
+        assert cc.spill_probability == 0.25
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_scheme("l3", tiny_system())

@@ -1,0 +1,87 @@
+"""Unit tests for the L2P private baseline."""
+
+from tests.helpers import addr, fill_set, tiny_system
+
+from repro.schemes.base import Outcome
+from repro.schemes.l2p import PrivateL2
+
+
+def make():
+    return PrivateL2(tiny_system())
+
+
+class TestBasics:
+    def test_cold_miss_goes_to_memory(self):
+        s = make()
+        res = s.access(0, addr(0, 0, 0), False, 0)
+        assert res.outcome is Outcome.MEMORY
+        assert res.latency == s.config.latency.dram
+
+    def test_hit_after_fill(self):
+        s = make()
+        a = addr(0, 3, 1)
+        s.access(0, a, False, 0)
+        res = s.access(0, a, False, 400)
+        assert res.outcome is Outcome.LOCAL_HIT
+        assert res.latency == s.config.latency.l2_local
+
+    def test_no_sharing_between_cores(self):
+        s = make()
+        a0 = addr(0, 0, 5)
+        s.access(0, a0, False, 0)
+        # Core 1's access to its own copy of the "same" block is a fresh miss.
+        res = s.access(1, addr(1, 0, 5), False, 500)
+        assert res.outcome is Outcome.MEMORY
+
+    def test_capacity_eviction(self):
+        s = make()
+        fill_set(s, 0, 0, 5)  # 5 blocks into a 4-way set
+        res = s.access(0, addr(0, 0, 0), False, 10_000)
+        assert res.outcome is Outcome.MEMORY  # LRU evicted, re-fetch
+
+
+class TestWrites:
+    def test_write_marks_dirty(self):
+        s = make()
+        a = addr(0, 2, 0)
+        s.access(0, a, True, 0)
+        assert s.slices[0].probe(a).dirty
+
+    def test_read_then_write_dirties(self):
+        s = make()
+        a = addr(0, 2, 0)
+        s.access(0, a, False, 0)
+        s.access(0, a, True, 400)
+        assert s.slices[0].probe(a).dirty
+
+    def test_dirty_eviction_enters_write_buffer(self):
+        s = make()
+        s.access(0, addr(0, 1, 0), True, 0)
+        fill_set(s, 0, 1, 4, t0=400, start_tag=1)  # evicts the dirty block
+        assert s.stats.flatten().get("wbuf_0.deposits", 0) == 1
+        assert s.stats.flatten().get("l2_0.writebacks", 0) == 1
+
+    def test_write_buffer_direct_read(self):
+        s = make()
+        a = addr(0, 1, 0)
+        s.access(0, a, True, 0)
+        fill_set(s, 0, 1, 4, t0=400, start_tag=1)
+        # Re-read promptly: the dirty victim is still buffered.
+        res = s.access(0, a, False, 450)
+        assert res.outcome is Outcome.WBUF_HIT
+        # It returns dirty (newer than memory).
+        assert s.slices[0].probe(a).dirty
+
+
+class TestStats:
+    def test_dram_fetch_count(self):
+        s = make()
+        s.access(0, addr(0, 0, 0), False, 0)
+        s.access(0, addr(0, 0, 1), False, 400)
+        assert s.flat_stats()["l2_0.dram_fetches"] == 2
+
+    def test_result_hit_on_chip_flag(self):
+        s = make()
+        a = addr(0, 0, 0)
+        assert not s.access(0, a, False, 0).hit_on_chip
+        assert s.access(0, a, False, 400).hit_on_chip

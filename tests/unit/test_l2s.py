@@ -1,0 +1,105 @@
+"""Unit tests for the L2S shared organization."""
+
+from tests.helpers import tiny_system
+
+from repro.schemes.base import Outcome
+from repro.schemes.l2p import PrivateL2
+from repro.schemes.l2s import SharedL2
+
+
+def make():
+    return SharedL2(tiny_system())
+
+
+def sweep(scheme, core, blocks, now=0):
+    """Access every block once; return (end_time, on_chip_hits)."""
+    hits = 0
+    for b in blocks:
+        r = scheme.access(core, b, False, now)
+        hits += r.hit_on_chip
+        now += r.latency + 1
+    return now, hits
+
+
+class TestRouting:
+    def test_bank_is_low_bits(self):
+        s = make()
+        assert s._route(0) == (0, 0)
+        assert s._route(1) == (1, 0)
+        assert s._route(5) == (1, 1)
+        assert s._route(7) == (3, 1)
+
+    def test_local_vs_remote_latency(self):
+        s = make()
+        lat = s.config.latency
+        s.access(0, 0, False, 0)  # block 0 homes in bank 0
+        assert s.access(0, 0, False, 500).latency == lat.l2_local
+        assert s.access(1, 0, False, 1000).latency == lat.l2_remote
+
+    def test_remote_hit_outcome(self):
+        s = make()
+        s.access(0, 0, False, 0)
+        assert s.access(1, 0, False, 500).outcome is Outcome.REMOTE_HIT
+
+    def test_miss_pays_bank_plus_dram(self):
+        s = make()
+        res = s.access(1, 0, False, 0)  # remote bank, cold
+        assert res.outcome is Outcome.MEMORY
+        assert res.latency == s.config.latency.l2_remote + s.config.latency.dram
+
+
+class TestSharing:
+    def test_one_core_uses_aggregate_capacity(self):
+        """128 blocks: cyclic sweep thrashes one private slice (64 lines)
+        but fits entirely in the shared LLC (256 lines)."""
+        cfg = tiny_system()
+        blocks = list(range(128))
+        shared = SharedL2(cfg)
+        now, _ = sweep(shared, 0, blocks)
+        _, shared_hits = sweep(shared, 0, blocks, now)
+        assert shared_hits == 128
+
+        private = PrivateL2(cfg)
+        now, _ = sweep(private, 0, blocks)
+        _, private_hits = sweep(private, 0, blocks, now)
+        assert private_hits == 0
+
+    def test_single_copy_no_duplication(self):
+        s = make()
+        s.access(0, 0, False, 0)
+        s.access(1, 0, False, 500)
+        total = sum(len(list(b.resident())) for b in s.banks)
+        assert total == 1
+
+    def test_quarter_of_accesses_local_on_average(self):
+        s = make()
+        blocks = list(range(64))
+        now, _ = sweep(s, 0, blocks)
+        local = remote = 0
+        for b in blocks:
+            r = s.access(0, b, False, now)
+            now += r.latency + 1
+            local += r.outcome is Outcome.LOCAL_HIT
+            remote += r.outcome is Outcome.REMOTE_HIT
+        assert local == 16
+        assert remote == 48
+
+
+class TestWrites:
+    def test_write_marks_dirty(self):
+        s = make()
+        s.access(0, 0, False, 0)
+        s.access(0, 0, True, 500)
+        bank, local = s._route(0)
+        assert s.banks[bank].probe(local).dirty
+
+    def test_wbuf_direct_read(self):
+        s = make()
+        # Blocks 0, 64, 128, ...: all bank 0, set 0 (local addrs 0, 16, 32...).
+        # Issue times are compressed so the dirty victim has not yet drained
+        # to DRAM when it is re-read.
+        blocks = [64 * t for t in range(5)]
+        for k, b in enumerate(blocks):
+            s.access(0, b, True, k)
+        res = s.access(0, 0, False, 10)  # evicted dirty, still buffered
+        assert res.outcome is Outcome.WBUF_HIT

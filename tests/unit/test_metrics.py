@@ -1,0 +1,73 @@
+"""Unit tests for repro.analysis.metrics (Table 5)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    average_weighted_speedup,
+    fair_speedup,
+    geometric_mean,
+    normalized_throughput,
+    throughput,
+)
+
+
+class TestThroughput:
+    def test_sum(self):
+        assert throughput([0.5, 0.5, 1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_normalized(self):
+        assert normalized_throughput([2.0, 2.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            throughput([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            throughput([1.0, 0.0])
+
+
+class TestAws:
+    def test_identity(self):
+        assert average_weighted_speedup([1, 2], [1, 2]) == pytest.approx(1.0)
+
+    def test_mean_of_relatives(self):
+        # relatives 2.0 and 0.5 -> arithmetic mean 1.25
+        assert average_weighted_speedup([2.0, 0.5], [1.0, 1.0]) == pytest.approx(1.25)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            average_weighted_speedup([1.0], [1.0, 2.0])
+
+
+class TestFairSpeedup:
+    def test_harmonic_mean(self):
+        # relatives 2.0 and 0.5 -> harmonic mean 0.8
+        assert fair_speedup([2.0, 0.5], [1.0, 1.0]) == pytest.approx(0.8)
+
+    def test_fs_penalizes_imbalance_vs_aws(self):
+        ipc, base = [4.0, 0.25], [1.0, 1.0]
+        assert fair_speedup(ipc, base) < average_weighted_speedup(ipc, base)
+
+    def test_identity(self):
+        assert fair_speedup([0.3, 0.7], [0.3, 0.7]) == pytest.approx(1.0)
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_below_arithmetic(self):
+        vals = [0.9, 1.1, 1.3]
+        assert geometric_mean(vals) <= sum(vals) / 3

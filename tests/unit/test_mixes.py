@@ -1,0 +1,91 @@
+"""Unit tests for repro.workloads.mixes (Tables 7 and 8)."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.mem.address import CORE_ID_SHIFT
+from repro.workloads.mixes import (
+    MIXES,
+    build_mix_traces,
+    get_mix,
+    mix_classes,
+    mixes_in_class,
+)
+from repro.workloads.spec2000 import CLASS_A, CLASS_B, CLASS_C, CLASS_D
+
+
+class TestTable8:
+    def test_21_combinations(self):
+        assert len(MIXES) == 21
+
+    def test_class_counts(self):
+        counts = {c: len(mixes_in_class(c)) for c in mix_classes()}
+        assert counts == {"C1": 3, "C2": 4, "C3": 3, "C4": 4, "C5": 3, "C6": 4}
+
+    def test_c1_c2_are_stress_tests(self):
+        for mix in (*mixes_in_class("C1"), *mixes_in_class("C2")):
+            assert mix.is_stress_test
+
+    def test_c1_uses_class_a(self):
+        for mix in mixes_in_class("C1"):
+            assert mix.programs[0] in CLASS_A
+
+    def test_c2_uses_class_c(self):
+        for mix in mixes_in_class("C2"):
+            assert mix.programs[0] in CLASS_C
+
+    def test_c3_composition(self):
+        for mix in mixes_in_class("C3"):
+            a = sum(p in CLASS_A for p in mix.programs)
+            c = sum(p in CLASS_C for p in mix.programs)
+            assert (a, c) == (2, 2), mix.mix_id
+
+    def test_c4_composition(self):
+        for mix in mixes_in_class("C4"):
+            assert sum(p in CLASS_A for p in mix.programs) == 2
+            assert sum(p in CLASS_B for p in mix.programs) == 1
+            assert sum(p in CLASS_C for p in mix.programs) == 1
+
+    def test_c5_composition(self):
+        for mix in mixes_in_class("C5"):
+            assert sum(p in CLASS_A for p in mix.programs) == 2
+            assert sum(p in CLASS_D for p in mix.programs) == 2
+
+    def test_c6_composition(self):
+        for mix in mixes_in_class("C6"):
+            assert sum(p in CLASS_A for p in mix.programs) == 2
+            assert sum(p in CLASS_B for p in mix.programs) == 1
+            assert sum(p in CLASS_D for p in mix.programs) == 1
+
+    def test_mix_ids_unique(self):
+        ids = [m.mix_id for m in MIXES]
+        assert len(set(ids)) == len(ids)
+
+    def test_get_mix(self):
+        assert get_mix("c3_1").mix_class == "C3"
+        with pytest.raises(WorkloadError):
+            get_mix("c9_0")
+
+    def test_unknown_class(self):
+        with pytest.raises(WorkloadError):
+            mixes_in_class("C7")
+
+
+class TestBuildTraces:
+    def test_four_rebased_traces(self):
+        traces = build_mix_traces(get_mix("c5_0"), 16, 500, seed=0)
+        assert len(traces) == 4
+        for slot, t in enumerate(traces):
+            assert (t.addrs >> CORE_ID_SHIFT == slot).all()
+
+    def test_stress_instances_not_lockstep(self):
+        traces = build_mix_traces(get_mix("c1_0"), 16, 500, seed=0)
+        a = traces[0].addrs
+        b = traces[1].addrs - (1 << CORE_ID_SHIFT)
+        assert not (a == b).all()
+
+    def test_seed_determinism(self):
+        t1 = build_mix_traces(get_mix("c4_0"), 16, 300, seed=7)
+        t2 = build_mix_traces(get_mix("c4_0"), 16, 300, seed=7)
+        for a, b in zip(t1, t2):
+            assert (a.addrs == b.addrs).all()

@@ -1,0 +1,74 @@
+"""Unit tests for repro.analysis.overhead (Formula 6, Tables 2-3)."""
+
+import pytest
+
+from repro.analysis.overhead import SnugOverheadModel
+from repro.common.config import CacheGeometry, SnugConfig
+
+
+class TestTable2Fields:
+    def test_paper_field_lengths(self):
+        """Table 2: 32-bit address, 1 MB/16-way/64 B => 16-bit tags, 4-bit LRU."""
+        model = SnugOverheadModel(CacheGeometry(), address_bits=32)
+        f = model.field_lengths()
+        assert f.tag_bits == 16
+        assert f.index_bits == 10
+        assert f.offset_bits == 6
+        assert f.lru_bits == 4
+        assert f.counter_bits == 4
+        assert f.mod_p_bits == 3  # p = 8
+        assert f.data_bits == 512
+
+    def test_line_and_entry_bits(self):
+        model = SnugOverheadModel()
+        f = model.field_lengths()
+        # L2 line: 512 data + 16 tag + v+d+cc+f + 4 LRU = 536.
+        assert f.l2_line_bits() == 536
+        # Shadow entry: 16 tag + 1 v + 4 LRU = 21.
+        assert f.shadow_entry_bits() == 21
+
+    def test_set_level_storage(self):
+        model = SnugOverheadModel()
+        assert model.l2_set_bits() == 536 * 16 + 1
+        assert model.shadow_set_bits() == 21 * 16 + 4 + 3
+
+
+class TestTable3:
+    def test_32bit_64B_is_3_9_pct(self):
+        model = SnugOverheadModel(CacheGeometry(line_bytes=64), address_bits=32)
+        assert model.overhead() == pytest.approx(0.039, abs=0.002)
+
+    def test_44bit_64B_is_5_8_pct(self):
+        model = SnugOverheadModel(CacheGeometry(line_bytes=64), address_bits=44)
+        assert model.overhead() == pytest.approx(0.058, abs=0.002)
+
+    def test_32bit_128B_is_2_1_pct(self):
+        model = SnugOverheadModel(CacheGeometry(line_bytes=128), address_bits=32)
+        assert model.overhead() == pytest.approx(0.021, abs=0.002)
+
+    def test_44bit_128B_is_3_1_pct(self):
+        model = SnugOverheadModel(CacheGeometry(line_bytes=128), address_bits=44)
+        assert model.overhead() == pytest.approx(0.031, abs=0.002)
+
+    def test_table3_grid(self):
+        grid = SnugOverheadModel.table3()
+        assert set(grid) == {(32, 64), (32, 128), (44, 64), (44, 128)}
+        # Larger lines amortize the shadow tags; longer addresses inflate them.
+        assert grid[(32, 128)] < grid[(32, 64)] < grid[(44, 64)]
+
+    def test_overhead_in_paper_range(self):
+        """Section 3.4: 'the SNUG overhead falls in the range of 2-6%'."""
+        for v in SnugOverheadModel.table3().values():
+            assert 0.02 <= v <= 0.06
+
+
+class TestEdgeCases:
+    def test_address_too_narrow(self):
+        with pytest.raises(ValueError):
+            SnugOverheadModel(CacheGeometry(), address_bits=16).field_lengths()
+
+    def test_custom_counter_width(self):
+        model = SnugOverheadModel(snug=SnugConfig(counter_bits=8, p_threshold=16))
+        f = model.field_lengths()
+        assert f.counter_bits == 8
+        assert f.mod_p_bits == 4

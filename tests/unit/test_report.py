@@ -1,0 +1,59 @@
+"""Unit tests for repro.analysis.report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_pct, render_distribution, render_series, render_table
+
+
+class TestFormatPct:
+    def test_basic(self):
+        assert format_pct(0.139) == "13.9%"
+        assert format_pct(1.0) == "100.0%"
+        assert format_pct(0.0223, digits=2) == "2.23%"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "val"], [["a", 1.5], ["bb", 2.25]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "val" in lines[0]
+        assert "1.5000" in out and "2.2500" in out
+
+    def test_title(self):
+        out = render_table(["x"], [["y"]], title="Table 9")
+        assert out.startswith("Table 9")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_float_fmt(self):
+        out = render_table(["v"], [[0.12345]], float_fmt="{:.1f}")
+        assert "0.1" in out and "0.12345" not in out
+
+
+class TestRenderSeries:
+    def test_layout(self):
+        out = render_series(
+            ["C1", "C2"],
+            {"snug": [1.1, 1.0], "dsr": [1.05, 1.0]},
+            x_name="class",
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("class")
+        assert "snug" in lines[0] and "dsr" in lines[0]
+        assert "C1" in out and "1.1000" in out
+
+
+class TestRenderDistribution:
+    def test_shows_percentages(self):
+        sizes = np.array([[0.25, 0.75], [0.5, 0.5]])
+        out = render_distribution(sizes, ["1~4", "5~8"])
+        assert "25.0%" in out and "75.0%" in out
+
+    def test_sampling_caps_rows(self):
+        sizes = np.tile([[0.5, 0.5]], (100, 1))
+        out = render_distribution(sizes, ["a", "b"], max_rows=10)
+        # header + separator + <= 10 rows (+ no title)
+        assert len(out.splitlines()) <= 12

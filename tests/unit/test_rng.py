@@ -1,0 +1,53 @@
+"""Unit tests for repro.common.rng."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngFactory, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_master_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_order_matters(self):
+        assert derive_seed(0, "a", "b") != derive_seed(0, "b", "a")
+
+    def test_high_bits_of_master_matter(self):
+        assert derive_seed(1 << 40, "x") != derive_seed(0, "x")
+
+    def test_non_negative(self):
+        for s in (0, 7, 123456789):
+            assert derive_seed(s, "n") >= 0
+
+
+class TestRngFactory:
+    def test_same_stream_reproducible(self):
+        f = RngFactory(7)
+        a = f.stream("w", "ammp", 0).integers(0, 1000, 20)
+        b = f.stream("w", "ammp", 0).integers(0, 1000, 20)
+        assert (a == b).all()
+
+    def test_different_streams_differ(self):
+        f = RngFactory(7)
+        a = f.stream("w", "ammp", 0).integers(0, 1000, 20)
+        b = f.stream("w", "ammp", 1).integers(0, 1000, 20)
+        assert not (a == b).all()
+
+    def test_different_masters_differ(self):
+        a = RngFactory(1).stream("x").random(10)
+        b = RngFactory(2).stream("x").random(10)
+        assert not np.allclose(a, b)
+
+    def test_negative_master_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(-1)
+
+    def test_returns_numpy_generator(self):
+        assert isinstance(RngFactory(0).stream("a"), np.random.Generator)

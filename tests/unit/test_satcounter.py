@@ -1,0 +1,101 @@
+"""Unit tests for repro.cache.satcounter."""
+
+import pytest
+
+from repro.cache.satcounter import DemandMonitorCounter, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_default_init_below_msb(self):
+        c = SaturatingCounter(4)
+        assert c.value == 7
+        assert not c.msb
+
+    def test_msb_flips_at_half(self):
+        c = SaturatingCounter(4, initial=7)
+        c.increment()
+        assert c.value == 8
+        assert c.msb
+
+    def test_saturates_high(self):
+        c = SaturatingCounter(2, initial=3)
+        c.increment()
+        assert c.value == 3
+
+    def test_saturates_low(self):
+        c = SaturatingCounter(2, initial=0)
+        c.decrement()
+        assert c.value == 0
+
+    def test_reset(self):
+        c = SaturatingCounter(4)
+        c.increment()
+        c.reset()
+        assert c.value == 7
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(0)
+
+    def test_bad_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(3, initial=8)
+
+
+class TestDemandMonitorCounter:
+    def test_paper_example_figure7(self):
+        """A 4-bit counter initialized to 7: one net shadow surplus => taker."""
+        m = DemandMonitorCounter(bits=4, p=8)
+        assert not m.is_taker
+        m.on_shadow_hit()
+        assert m.is_taker  # 7 -> 8, MSB set
+
+    def test_p_hits_decrement_once(self):
+        m = DemandMonitorCounter(bits=4, p=4)
+        for _ in range(4):
+            m.on_real_hit()
+        assert m.value == 6  # one decrement after p hits
+
+    def test_shadow_hits_count_toward_p(self):
+        m = DemandMonitorCounter(bits=4, p=4)
+        m.on_shadow_hit()  # +1 and 1/4 toward decrement
+        for _ in range(3):
+            m.on_real_hit()  # completes the modulo -> -1
+        assert m.value == 7  # 7 +1 -1
+
+    def test_taker_iff_sigma_exceeds_one_over_p(self):
+        # 2 shadow hits among 8 total = sigma 0.25 > 1/8 -> taker.
+        m = DemandMonitorCounter(bits=4, p=8)
+        m.on_shadow_hit()
+        m.on_shadow_hit()
+        for _ in range(6):
+            m.on_real_hit()
+        assert m.is_taker
+
+    def test_giver_when_sigma_below_bar(self):
+        # 1 shadow among 16 = sigma 1/16 < 1/8 -> giver.
+        m = DemandMonitorCounter(bits=4, p=8)
+        m.on_shadow_hit()
+        for _ in range(15):
+            m.on_real_hit()
+        assert not m.is_taker
+
+    def test_pure_real_hits_drift_to_giver(self):
+        m = DemandMonitorCounter(bits=4, p=8)
+        for _ in range(200):
+            m.on_real_hit()
+        assert m.value == 0
+        assert not m.is_taker
+
+    def test_reset_rearms(self):
+        m = DemandMonitorCounter()
+        m.on_shadow_hit()
+        m.reset()
+        assert m.value == 7
+        assert not m.is_taker
+
+    def test_p_must_be_pow2(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            DemandMonitorCounter(p=5)

@@ -1,0 +1,28 @@
+"""Unit tests for the sensitivity experiment drivers."""
+
+from tests.helpers import tiny_system
+
+from repro.experiments.runner import RunPlan
+from repro.experiments.sensitivity import sweep_remote_latency, toggle_bus_contention
+
+PLAN = RunPlan(n_accesses=2_000, target_instructions=25_000, warmup_instructions=15_000)
+
+
+class TestRemoteLatencySweep:
+    def test_points_labelled_and_ordered(self):
+        points = sweep_remote_latency(tiny_system(), PLAN, latencies=(20, 60))
+        assert [p.label for p in points] == ["remote=20", "remote=60"]
+        assert all(p.throughput_vs_l2p > 0 for p in points)
+
+    def test_cheaper_remote_never_worse(self):
+        points = sweep_remote_latency(tiny_system(), PLAN, latencies=(15, 200))
+        assert points[0].throughput_vs_l2p >= points[1].throughput_vs_l2p - 1e-9
+
+
+class TestBusContentionToggle:
+    def test_table_shape(self):
+        table = toggle_bus_contention(tiny_system(), PLAN, schemes=("cc", "snug"))
+        assert set(table) == {"cc", "snug"}
+        for vals in table.values():
+            assert set(vals) == {False, True}
+            assert all(v > 0 for v in vals.values())

@@ -1,0 +1,63 @@
+"""Unit tests for repro.cache.shadowset."""
+
+import pytest
+
+from repro.cache.shadowset import ShadowSet
+
+
+class TestShadowSet:
+    def test_record_and_hit(self):
+        s = ShadowSet(4)
+        s.record_eviction(10)
+        assert 10 in s
+        assert s.hit_and_invalidate(10)
+        assert 10 not in s  # exclusivity: removed as the block re-enters L2
+
+    def test_miss(self):
+        s = ShadowSet(4)
+        assert not s.hit_and_invalidate(99)
+
+    def test_capacity_lru(self):
+        s = ShadowSet(2)
+        s.record_eviction(1)
+        s.record_eviction(2)
+        s.record_eviction(3)  # evicts shadow-LRU (1)
+        assert 1 not in s
+        assert 2 in s and 3 in s
+
+    def test_re_eviction_refreshes_recency(self):
+        s = ShadowSet(2)
+        s.record_eviction(1)
+        s.record_eviction(2)
+        s.record_eviction(1)  # refresh 1: now 2 is shadow-LRU
+        s.record_eviction(3)
+        assert 2 not in s
+        assert 1 in s and 3 in s
+
+    def test_no_duplicates(self):
+        s = ShadowSet(4)
+        s.record_eviction(7)
+        s.record_eviction(7)
+        assert len(s) == 1
+
+    def test_invalidate(self):
+        s = ShadowSet(2)
+        s.record_eviction(5)
+        assert s.invalidate(5)
+        assert not s.invalidate(5)
+
+    def test_clear(self):
+        s = ShadowSet(2)
+        s.record_eviction(1)
+        s.clear()
+        assert len(s) == 0
+
+    def test_tags_mru_first(self):
+        s = ShadowSet(3)
+        for a in (1, 2, 3):
+            s.record_eviction(a)
+        assert s.tags() == [3, 2, 1]
+
+    def test_bad_assoc(self):
+        with pytest.raises(ValueError):
+            ShadowSet(0)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.workloads.spec2000 (benchmark models, Table 6)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.spec2000 import (
+    CLASS_A,
+    CLASS_B,
+    CLASS_C,
+    CLASS_D,
+    NON_UNIFORM_BENCHMARKS,
+    PROFILES,
+    benchmark_names,
+    get_profile,
+    make_benchmark_trace,
+)
+from repro.workloads.synthetic import draw_demand_map
+
+
+class TestSuiteShape:
+    def test_26_benchmarks(self):
+        assert len(PROFILES) == 26
+
+    def test_table6_classes_disjoint(self):
+        all_named = set(CLASS_A) | set(CLASS_B) | set(CLASS_C) | set(CLASS_D)
+        assert len(all_named) == 12
+
+    def test_seven_non_uniform(self):
+        assert set(NON_UNIFORM_BENCHMARKS) == {
+            "ammp", "apsi", "galgel", "gcc", "parser", "twolf", "vortex",
+        }
+
+    def test_lookup(self):
+        assert get_profile("ammp").name == "ammp"
+        with pytest.raises(WorkloadError):
+            get_profile("doom3")
+
+    def test_names_sorted(self):
+        names = benchmark_names()
+        assert names == sorted(names)
+        assert "applu" in names
+
+
+def first_phase_demand(name, num_sets=1024):
+    spec = get_profile(name)
+    rng = np.random.default_rng(spec.demand_seed())
+    return draw_demand_map(spec.phases[0].bands, num_sets, rng)
+
+
+class TestClassCalibration:
+    def test_class_a_footprint_above_slice(self):
+        """Class A: mean demand > baseline associativity-fraction of 1 slice."""
+        for name in CLASS_A:
+            spec = get_profile(name)
+            # > 1 MB of a 1 MB slice <=> mean per-set demand > 16 blocks... the
+            # paper's cut is app footprint vs slice capacity.
+            assert spec.mean_demand(1024) * 1024 * 64 > (1 << 20) * 0.9, name
+
+    def test_class_b_d_footprint_below_slice(self):
+        for name in (*CLASS_B, *CLASS_D):
+            spec = get_profile(name)
+            assert spec.mean_demand(1024) * 1024 * 64 < (1 << 20), name
+
+    def test_class_c_footprint_above_slice(self):
+        for name in CLASS_C:
+            spec = get_profile(name)
+            assert spec.mean_demand(1024) * 1024 * 64 > (1 << 20), name
+
+    def test_non_uniform_profiles_have_both_giver_and_taker_sets(self):
+        for name in ("ammp", "parser", "vortex", "apsi", "gcc", "galgel", "twolf"):
+            w = first_phase_demand(name)
+            givers = (w <= 8).mean()
+            takers = (w > 16).mean()
+            assert givers >= 0.10, name
+            assert takers >= 0.10, name
+
+    def test_uniform_class_c_all_takers(self):
+        for name in CLASS_C:
+            w = first_phase_demand(name)
+            assert (w > 16).all(), name
+
+    def test_uniform_class_d_no_takers(self):
+        for name in CLASS_D:
+            w = first_phase_demand(name)
+            assert (w <= 16).all(), name
+
+    def test_ammp_fig1_signature(self):
+        """Fig. 1: ~40% of ammp's sets need only 1-4 blocks."""
+        w = first_phase_demand("ammp")
+        assert 0.35 < ((w <= 4).mean()) < 0.50
+
+    def test_applu_streaming_signature(self):
+        """Fig. 3: applu's sets all sit in the 1-4 bucket."""
+        w = first_phase_demand("applu")
+        assert (w <= 4).all()
+        assert get_profile("applu").phases[0].stream_frac > 0.5
+
+    def test_vortex_has_phases(self):
+        assert len(get_profile("vortex").phases) >= 3
+
+
+class TestTraceGeneration:
+    def test_make_trace(self):
+        t = make_benchmark_trace("gzip", 64, 1000, seed=3)
+        assert len(t) == 1000
+        assert t.name == "gzip"
+
+    def test_identical_instances_share_demand_map(self):
+        """C1 stress-test property: same intrinsic map, different interleaving."""
+        a = make_benchmark_trace("ammp", 64, 3000, seed=1)
+        b = make_benchmark_trace("ammp", 64, 3000, seed=2)
+        assert not (a.addrs[: len(b.addrs)] == b.addrs).all()
+        fa = {s: np.unique(a.addrs[(a.addrs % 64) == s]).size for s in range(64)}
+        fb = {s: np.unique(b.addrs[(b.addrs % 64) == s]).size for s in range(64)}
+        close = sum(abs(fa[s] - fb[s]) <= 2 for s in range(64))
+        assert close >= 58  # footprints agree per set (sampling tolerance)

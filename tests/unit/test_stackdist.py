@@ -1,0 +1,108 @@
+"""Unit tests for repro.cache.stackdist (Mattson profiling, Formulas 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.stackdist import StackDistanceProfiler, StackDistanceSet
+
+
+class TestStackDistanceSet:
+    def test_first_reference_misses(self):
+        s = StackDistanceSet(8)
+        assert s.reference(1) == 0
+
+    def test_immediate_rereference_distance_one(self):
+        s = StackDistanceSet(8)
+        s.reference(1)
+        assert s.reference(1) == 1
+
+    def test_cyclic_distance_equals_working_set(self):
+        """Cyclic access over W blocks has stack distance exactly W."""
+        s = StackDistanceSet(16)
+        w = 5
+        for _ in range(3):  # warm + measure
+            for b in range(w):
+                s.reference(b)
+        assert s.block_required() == w
+
+    def test_block_required_no_hits_is_one(self):
+        s = StackDistanceSet(8)
+        for b in range(100):  # pure streaming
+            s.reference(b)
+        assert s.block_required() == 1
+
+    def test_hit_count_monotone_in_assoc(self):
+        """The LRU stack property: hit_count is non-decreasing in A."""
+        rng = np.random.default_rng(0)
+        s = StackDistanceSet(16)
+        for a in rng.integers(0, 12, 500):
+            s.reference(int(a))
+        counts = [s.hit_count(a) for a in range(1, 17)]
+        assert all(x <= y for x, y in zip(counts, counts[1:]))
+
+    def test_block_required_matches_formula3(self):
+        """block_required = min A with hit_count(A) == hit_count(A_thr)."""
+        rng = np.random.default_rng(1)
+        s = StackDistanceSet(16)
+        for a in rng.integers(0, 10, 400):
+            s.reference(int(a))
+        req = s.block_required()
+        total = s.hit_count(16)
+        assert s.hit_count(req) == total
+        if req > 1:
+            assert s.hit_count(req - 1) < total
+
+    def test_new_interval_clears_hist_keeps_stack(self):
+        s = StackDistanceSet(8)
+        s.reference(1)
+        s.reference(1)
+        s.new_interval()
+        assert s.hit_count(8) == 0
+        assert s.reference(1) == 1  # stack content persisted
+
+    def test_depth_bounds_stack(self):
+        s = StackDistanceSet(2)
+        s.reference(1)
+        s.reference(2)
+        s.reference(3)  # evicts 1
+        assert s.reference(1) == 0  # beyond depth: compulsory-like miss
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            StackDistanceSet(0)
+
+
+class TestStackDistanceProfiler:
+    def test_routes_by_low_bits(self):
+        p = StackDistanceProfiler(num_sets=4, depth=8)
+        p.reference(0)  # set 0
+        p.reference(4)  # set 0 again (4 mod 4)
+        p.reference(1)  # set 1
+        req = p.end_interval()
+        assert req.shape == (4,)
+
+    def test_per_set_independence(self):
+        p = StackDistanceProfiler(num_sets=2, depth=8)
+        # Set 0 cycles 3 blocks {0,2,4}; set 1 streams.
+        for _ in range(5):
+            for b in (0, 2, 4):
+                p.reference(b)
+        for i in range(20):
+            p.reference(1 + 2 * i)
+        req = p.end_interval()
+        assert req[0] == 3
+        assert req[1] == 1
+
+    def test_reference_many_equivalent(self):
+        a = StackDistanceProfiler(4, 8)
+        b = StackDistanceProfiler(4, 8)
+        addrs = np.arange(50) % 12
+        for x in addrs:
+            a.reference(int(x))
+        b.reference_many(addrs)
+        assert (a.end_interval() == b.end_interval()).all()
+        assert a.accesses == b.accesses == 50
+
+    def test_non_pow2_sets_rejected(self):
+        with pytest.raises(ValueError):
+            StackDistanceProfiler(3, 8)

@@ -1,0 +1,45 @@
+"""Unit tests for repro.common.stats."""
+
+from repro.common.stats import StatGroup
+
+
+class TestStatGroup:
+    def test_add_and_get(self):
+        g = StatGroup("g")
+        g.add("hits")
+        g.add("hits", 4)
+        assert g.get("hits") == 5
+
+    def test_missing_counter_is_zero(self):
+        assert StatGroup("g").get("nothing") == 0
+
+    def test_child_identity(self):
+        g = StatGroup("g")
+        assert g.child("a") is g.child("a")
+
+    def test_flatten_nested(self):
+        root = StatGroup("root")
+        root.add("x", 1)
+        root.child("c1").add("y", 2)
+        root.child("c1").child("c2").add("z", 3)
+        flat = root.flatten()
+        assert flat == {"x": 1, "c1.y": 2, "c1.c2.z": 3}
+
+    def test_reset_recursive(self):
+        root = StatGroup("root")
+        root.add("x")
+        root.child("c").add("y")
+        root.reset()
+        assert root.flatten() == {}
+
+    def test_merge_from(self):
+        g = StatGroup("g")
+        g.add("a", 1)
+        g.merge_from({"a": 2, "b": 3})
+        assert g.get("a") == 3
+        assert g.get("b") == 3
+
+    def test_iteration(self):
+        g = StatGroup("g")
+        g.add("k", 7)
+        assert dict(iter(g)) == {"k": 7}

@@ -1,0 +1,142 @@
+"""Unit tests for repro.workloads.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.synthetic import Band, Phase, WorkloadSpec, draw_demand_map, generate_trace
+
+
+def simple_spec(**kw):
+    defaults = dict(
+        name="toy",
+        phases=(Phase(bands=(Band(1.0, 4, 4),), random_frac=0.0, stream_frac=0.0),),
+        write_fraction=0.0,
+        mean_gap=5.0,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestValidation:
+    def test_band_bounds(self):
+        with pytest.raises(ConfigError):
+            Band(1.0, 0, 4)
+        with pytest.raises(ConfigError):
+            Band(1.0, 5, 4)
+        with pytest.raises(ConfigError):
+            Band(-1.0, 1, 4)
+
+    def test_phase_fractions(self):
+        with pytest.raises(ConfigError):
+            Phase(bands=(Band(1, 1, 2),), stream_frac=0.6, random_frac=0.6)
+        with pytest.raises(ConfigError):
+            Phase(bands=())
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            simple_spec(write_fraction=2.0)
+        with pytest.raises(ConfigError):
+            simple_spec(mean_gap=0.5)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(name="x", phases=())
+
+    def test_generate_needs_positive_accesses(self):
+        with pytest.raises(ConfigError):
+            generate_trace(simple_spec(), 16, 0)
+
+
+class TestDemandMap:
+    def test_in_band_range(self):
+        rng = np.random.default_rng(0)
+        w = draw_demand_map((Band(1.0, 3, 7),), 64, rng)
+        assert w.min() >= 3 and w.max() <= 7
+
+    def test_band_weights_respected(self):
+        rng = np.random.default_rng(0)
+        w = draw_demand_map((Band(0.5, 1, 1), Band(0.5, 30, 30)), 4096, rng)
+        low = (w == 1).mean()
+        assert 0.45 < low < 0.55
+
+    def test_all_sets_assigned(self):
+        rng = np.random.default_rng(0)
+        w = draw_demand_map((Band(0.3, 1, 4), Band(0.7, 17, 32)), 128, rng)
+        assert len(w) == 128
+        assert ((1 <= w) & (w <= 32)).all()
+
+
+class TestGenerateTrace:
+    def test_length_and_fields(self):
+        t = generate_trace(simple_spec(), 16, 500, seed=1)
+        assert len(t) == 500
+        assert (t.gaps >= 1).all()
+
+    def test_deterministic_per_seed(self):
+        a = generate_trace(simple_spec(), 16, 200, seed=5)
+        b = generate_trace(simple_spec(), 16, 200, seed=5)
+        assert (a.addrs == b.addrs).all()
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(simple_spec(), 16, 200, seed=5)
+        b = generate_trace(simple_spec(), 16, 200, seed=6)
+        assert not (a.addrs == b.addrs).all()
+
+    def test_demand_map_shared_across_seeds(self):
+        """Instance seed must not change the intrinsic per-set demand."""
+        spec = WorkloadSpec(
+            name="shared",
+            phases=(Phase(bands=(Band(0.5, 1, 2), Band(0.5, 8, 10)), random_frac=0.0),),
+        )
+        a = generate_trace(spec, 16, 4000, seed=1)
+        b = generate_trace(spec, 16, 4000, seed=2)
+        # Per-set footprints (distinct blocks) should agree (same W map).
+        for s in range(16):
+            fa = np.unique(a.addrs[(a.addrs % 16) == s]).size
+            fb = np.unique(b.addrs[(b.addrs % 16) == s]).size
+            assert abs(fa - fb) <= 1
+
+    def test_cyclic_working_set_size(self):
+        """Pure cyclic: per-set distinct blocks == W exactly."""
+        spec = simple_spec()  # W=4 cyclic
+        t = generate_trace(spec, 8, 4000, seed=0)
+        for s in range(8):
+            blocks = np.unique(t.addrs[(t.addrs % 8) == s])
+            assert len(blocks) == 4
+
+    def test_streaming_never_repeats(self):
+        spec = WorkloadSpec(
+            name="stream",
+            phases=(Phase(bands=(Band(1.0, 1, 1),), stream_frac=1.0, random_frac=0.0),),
+        )
+        t = generate_trace(spec, 4, 1000, seed=0)
+        assert np.unique(t.addrs).size == 1000
+
+    def test_write_fraction_approximate(self):
+        t = generate_trace(simple_spec(write_fraction=0.3), 16, 5000, seed=0)
+        assert 0.25 < t.write_fraction < 0.35
+
+    def test_mean_gap_approximate(self):
+        t = generate_trace(simple_spec(mean_gap=20.0), 16, 5000, seed=0)
+        assert 18 < t.gaps.mean() < 22
+
+    def test_phases_concatenate(self):
+        spec = WorkloadSpec(
+            name="ph",
+            phases=(
+                Phase(bands=(Band(1, 1, 1),), duration=0.5, random_frac=0.0),
+                Phase(bands=(Band(1, 8, 8),), duration=0.5, random_frac=0.0),
+            ),
+        )
+        t = generate_trace(spec, 8, 2000, seed=0)
+        assert len(t) == 2000
+        first = np.unique(t.addrs[:900]).size
+        second = np.unique(t.addrs[1100:]).size
+        assert second > first  # bigger working set in phase 2
+
+    def test_mean_demand_and_footprint(self):
+        spec = WorkloadSpec(
+            name="fp",
+            phases=(Phase(bands=(Band(0.5, 2, 2), Band(0.5, 10, 10)),),),
+        )
+        assert spec.mean_demand(64) == pytest.approx(6.0)
+        assert spec.footprint_bytes(64, 64) == pytest.approx(6.0 * 64 * 64)

@@ -1,0 +1,80 @@
+"""Unit tests for repro.mem.writebuffer."""
+
+from repro.common.config import WriteBufferConfig
+from repro.mem.writebuffer import WriteBackBuffer
+
+
+def make(entries=4, drain=100, direct=True):
+    return WriteBackBuffer(WriteBufferConfig(entries=entries, drain_cycles=drain, direct_read=direct))
+
+
+class TestDeposit:
+    def test_deposit_no_stall_when_space(self):
+        buf = make()
+        assert buf.deposit(1, now=0) == 0
+        assert len(buf) == 1
+
+    def test_merge_same_block(self):
+        buf = make()
+        buf.deposit(1, 0)
+        assert buf.deposit(1, 1) == 0
+        assert len(buf) == 1
+        assert buf.stats.get("merged") == 1
+
+    def test_full_buffer_stalls(self):
+        buf = make(entries=2, drain=100)
+        buf.deposit(1, 0)
+        buf.deposit(2, 0)
+        # Third deposit at t=0: head drains at t=100 -> 100-cycle stall.
+        stall = buf.deposit(3, 0)
+        assert stall == 100
+        assert buf.stats.get("full_stalls") == 1
+
+    def test_drain_frees_entries(self):
+        buf = make(entries=2, drain=100)
+        buf.deposit(1, 0)
+        buf.deposit(2, 0)
+        # At t=250 both entries have drained (100 and 200).
+        assert buf.deposit(3, 250) == 0
+        assert buf.stats.get("drained") == 2
+
+    def test_fifo_order(self):
+        buf = make(entries=3, drain=100)
+        buf.deposit(1, 0)
+        buf.deposit(2, 0)
+        buf.deposit(3, 0)
+        buf._drain_until(150)  # only the head (1) drained
+        assert 1 not in buf
+        assert 2 in buf and 3 in buf
+
+
+class TestDirectRead:
+    def test_hit_removes_entry(self):
+        buf = make()
+        buf.deposit(5, 0)
+        assert buf.try_read(5, 1)
+        assert 5 not in buf
+        assert buf.stats.get("direct_reads") == 1
+
+    def test_miss(self):
+        buf = make()
+        assert not buf.try_read(5, 0)
+
+    def test_disabled(self):
+        buf = make(direct=False)
+        buf.deposit(5, 0)
+        assert not buf.try_read(5, 1)
+
+    def test_read_after_drain_misses(self):
+        buf = make(drain=50)
+        buf.deposit(5, 0)
+        assert not buf.try_read(5, 200)  # already retired to DRAM
+
+
+class TestReset:
+    def test_reset_clears(self):
+        buf = make()
+        buf.deposit(1, 0)
+        buf.reset()
+        assert len(buf) == 0
+        assert buf.stats.get("deposits") == 0
