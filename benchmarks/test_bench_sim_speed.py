@@ -3,11 +3,23 @@
 Not a paper artefact — this is the engineering benchmark guarding against
 performance regressions of the hot access path.  pytest-benchmark's timing
 statistics are the product here; the printed rate contextualizes them.
+
+``test_fast_path_speedup`` additionally pits the production fast path
+(plain-int trace columns, inlined event loop, C-level set scans) against
+the seed implementation preserved in :mod:`repro.core.reference` and
+asserts the speedup the fast-path work was merged for.  The reference
+baseline still shares several later micro-optimizations (stat caching,
+shared hit results), so the printed ratios *understate* the true
+seed-to-now gain.
 """
+
+import math
+import time
 
 import pytest
 
 from repro.core.cmp import CmpSystem
+from repro.core.reference import reference_system
 from repro.schemes.factory import make_scheme, scheme_names
 from repro.workloads.mixes import build_mix_traces, get_mix
 
@@ -28,3 +40,40 @@ def test_access_path_speed(benchmark, scale, scheme_name):
     accesses = sum(result.accesses)
     print(f"\n{scheme_name}: {accesses} accesses simulated")
     assert accesses > 0
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.benchmark(group="sim-speed")
+def test_fast_path_speedup(scale):
+    """Fast path vs the preserved seed hot path, across all five schemes.
+
+    Results are bit-identical (the property/engine suites assert that); this
+    bench asserts the *speed* contract: >= 1.5x on a single run of the
+    baseline scheme, with every scheme clearly faster.
+    """
+    cfg = scale.config
+    traces = build_mix_traces(get_mix("c4_0"), cfg.l2.num_sets,
+                              min(scale.plan.n_accesses, 10_000), seed=0)
+    target = min(scale.plan.target_instructions, 120_000)
+
+    speedups = {}
+    print()
+    for name in scheme_names():
+        fast = _best_of(lambda: CmpSystem(cfg, make_scheme(name, cfg), traces).run(target))
+        seed = _best_of(lambda: reference_system(cfg, name, traces).run(target))
+        speedups[name] = seed / fast
+        print(f"{name}: seed={seed:.3f}s fast={fast:.3f}s speedup={seed / fast:.2f}x")
+    geomean = math.exp(sum(math.log(s) for s in speedups.values()) / len(speedups))
+    print(f"geomean speedup: {geomean:.2f}x")
+
+    assert speedups["l2p"] >= 1.5, f"l2p single-run speedup {speedups['l2p']:.2f}x < 1.5x"
+    assert geomean >= 1.35, f"geomean speedup {geomean:.2f}x regressed"
+    assert all(s > 1.1 for s in speedups.values()), speedups

@@ -13,7 +13,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["render_table", "render_series", "render_distribution", "format_pct"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_distribution",
+    "render_combo_metrics",
+    "format_pct",
+]
 
 
 def format_pct(x: float, digits: int = 1) -> str:
@@ -70,6 +76,24 @@ def render_series(
     for i, label in enumerate(x_labels):
         rows.append([label, *(values[i] for values in series.values())])
     return render_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def render_combo_metrics(
+    metrics: Mapping[str, Mapping[str, float]],
+    *,
+    title: str = "Normalized to L2P",
+) -> str:
+    """Render one combination's Table 5 metrics (scheme rows, metric columns).
+
+    Accepts the ``ComboResult.metrics`` mapping; works identically whether
+    the combo came from the serial runner or was merged from the parallel
+    engine's partial per-task results.
+    """
+    rows = [
+        [name, m["throughput"], m["aws"], m["fs"]]
+        for name, m in metrics.items()
+    ]
+    return render_table(["scheme", "throughput", "aws", "fs"], rows, title=title)
 
 
 def render_distribution(

@@ -44,6 +44,12 @@ class SetAssocCache:
         self.name = name
         self.stats = stats if stats is not None else StatGroup(name)
         self.sets = [LruSet(geometry.assoc) for _ in range(geometry.num_sets)]
+        # Hot-path shortcuts: the set-index mask (amap.set_index is a method
+        # call per access) and the stat group's raw counter dict (StatGroup
+        # .add is a function call per counter bump; incrementing the backing
+        # defaultdict directly is observably identical).
+        self._index_mask = geometry.num_sets - 1
+        self._counters = self.stats.counters
 
     # -- geometry helpers --------------------------------------------------
 
@@ -70,17 +76,17 @@ class SetAssocCache:
 
         ``set_index`` overrides the home index (flipped lookups).
         """
-        idx = self.amap.set_index(block_addr) if set_index is None else set_index
+        idx = block_addr & self._index_mask if set_index is None else set_index
         line = self.sets[idx].touch(block_addr)
         if line is not None:
-            self.stats.add("hits")
+            self._counters["hits"] += 1
         else:
-            self.stats.add("misses")
+            self._counters["misses"] += 1
         return line
 
     def probe(self, block_addr: int, set_index: Optional[int] = None) -> Optional[CacheLine]:
         """Non-destructive lookup: no recency update, no stats."""
-        idx = self.amap.set_index(block_addr) if set_index is None else set_index
+        idx = block_addr & self._index_mask if set_index is None else set_index
         return self.sets[idx].probe(block_addr)
 
     def fill(
@@ -95,17 +101,17 @@ class SetAssocCache:
         The caller is responsible for victim disposition (write-back, spill,
         shadow recording, ...).
         """
-        idx = self.amap.set_index(line.addr) if set_index is None else set_index
+        idx = line.addr & self._index_mask if set_index is None else set_index
         target = self.sets[idx]
         victim = target.insert_at_lru(line) if at_lru else target.insert(line)
-        self.stats.add("fills")
+        self._counters["fills"] += 1
         if victim is not None:
-            self.stats.add("evictions")
+            self._counters["evictions"] += 1
         return victim
 
     def invalidate(self, block_addr: int, set_index: Optional[int] = None) -> Optional[CacheLine]:
         """Remove *block_addr* from the (possibly overridden) set."""
-        idx = self.amap.set_index(block_addr) if set_index is None else set_index
+        idx = block_addr & self._index_mask if set_index is None else set_index
         line = self.sets[idx].invalidate(block_addr)
         if line is not None:
             self.stats.add("invalidations")

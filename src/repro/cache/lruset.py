@@ -8,8 +8,13 @@ at LRU positions ``<= A`` (Section 2.1.1).
 
 Design notes
 ------------
-* Associativity is small (16 in Table 4), so O(A) list scans beat any
-  fancier structure in CPython.
+* Associativity is small (16 in Table 4), so O(A) scans beat any fancier
+  structure in CPython.  The scan itself runs in C: a parallel MRU-ordered
+  list of block addresses (``_addrs``) mirrors the line list, so membership
+  tests are ``list.index`` on plain ints instead of a Python-level loop
+  over ``line.addr`` attribute reads — the single hottest operation in the
+  simulator.  ``CacheLine.addr`` is never mutated after construction, which
+  keeps the mirror trivially consistent.
 * Victim selection is strict LRU over resident lines.  Schemes that must
   prefer evicting cooperative blocks first (none in the paper — CC blocks
   age normally) can use :meth:`find_victim` with a predicate.
@@ -27,13 +32,14 @@ __all__ = ["LruSet"]
 class LruSet:
     """One set of a set-associative cache under true LRU replacement."""
 
-    __slots__ = ("assoc", "_lines")
+    __slots__ = ("assoc", "_lines", "_addrs")
 
     def __init__(self, assoc: int) -> None:
         if assoc < 1:
             raise ValueError("associativity must be >= 1")
         self.assoc = assoc
         self._lines: List[CacheLine] = []
+        self._addrs: List[int] = []  # MRU-ordered mirror of _lines[i].addr
 
     # -- queries ---------------------------------------------------------
 
@@ -49,16 +55,18 @@ class LruSet:
 
     def probe(self, addr: int) -> Optional[CacheLine]:
         """Return the resident line for *addr* without updating recency."""
-        for line in self._lines:
-            if line.addr == addr:
-                return line
+        # `in` before `index`: misses dominate probes, and a C-level scan is
+        # an order of magnitude cheaper than raising/catching ValueError.
+        addrs = self._addrs
+        if addr in addrs:
+            return self._lines[addrs.index(addr)]
         return None
 
     def hit_position(self, addr: int) -> int:
         """1-based LRU position of *addr*, or 0 if absent (no recency update)."""
-        for i, line in enumerate(self._lines):
-            if line.addr == addr:
-                return i + 1
+        addrs = self._addrs
+        if addr in addrs:
+            return addrs.index(addr) + 1
         return 0
 
     # -- mutations ---------------------------------------------------------
@@ -68,14 +76,18 @@ class LruSet:
 
         Returns ``None`` on miss.
         """
+        addrs = self._addrs
+        if addr not in addrs:
+            return None
+        i = addrs.index(addr)
         lines = self._lines
-        for i, line in enumerate(lines):
-            if line.addr == addr:
-                if i:
-                    del lines[i]
-                    lines.insert(0, line)
-                return line
-        return None
+        line = lines[i]
+        if i:
+            del lines[i]
+            lines.insert(0, line)
+            del addrs[i]
+            addrs.insert(0, addr)
+        return line
 
     def access(self, addr: int) -> tuple[int, Optional[CacheLine]]:
         """Look up *addr* returning ``(lru_position, line)``; updates recency.
@@ -84,39 +96,48 @@ class LruSet:
         variant of :meth:`touch` used when per-position hit counts are
         needed (SNUG's demand monitor, the characterization pipeline).
         """
+        addrs = self._addrs
+        if addr not in addrs:
+            return 0, None
+        i = addrs.index(addr)
         lines = self._lines
-        for i, line in enumerate(lines):
-            if line.addr == addr:
-                if i:
-                    del lines[i]
-                    lines.insert(0, line)
-                return i + 1, line
-        return 0, None
+        line = lines[i]
+        if i:
+            del lines[i]
+            lines.insert(0, line)
+            del addrs[i]
+            addrs.insert(0, addr)
+        return i + 1, line
 
     def insert(self, line: CacheLine) -> Optional[CacheLine]:
         """Insert *line* at MRU; return the evicted LRU line if the set was full."""
         victim: Optional[CacheLine] = None
-        if self.full:
+        if len(self._lines) >= self.assoc:
             victim = self._lines.pop()
+            self._addrs.pop()
         self._lines.insert(0, line)
+        self._addrs.insert(0, line.addr)
         return victim
 
     def insert_at_lru(self, line: CacheLine) -> Optional[CacheLine]:
         """Insert *line* at the LRU end (lowest retention priority)."""
         victim: Optional[CacheLine] = None
-        if self.full:
+        if len(self._lines) >= self.assoc:
             victim = self._lines.pop()
+            self._addrs.pop()
         self._lines.append(line)
+        self._addrs.append(line.addr)
         return victim
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
         """Remove and return the line for *addr*, or ``None`` if absent."""
-        lines = self._lines
-        for i, line in enumerate(lines):
-            if line.addr == addr:
-                del lines[i]
-                return line
-        return None
+        if addr not in self._addrs:
+            return None
+        i = self._addrs.index(addr)
+        line = self._lines[i]
+        del self._lines[i]
+        del self._addrs[i]
+        return line
 
     def find_victim(self, predicate: Callable[[CacheLine], bool]) -> Optional[CacheLine]:
         """Return the LRU-most line satisfying *predicate* (no removal)."""
@@ -128,16 +149,20 @@ class LruSet:
     def evict_lru(self) -> Optional[CacheLine]:
         """Remove and return the LRU line (``None`` if the set is empty)."""
         if self._lines:
+            self._addrs.pop()
             return self._lines.pop()
         return None
 
     def remove(self, line: CacheLine) -> None:
         """Remove a specific line object (must be resident)."""
-        self._lines.remove(line)
+        i = self._lines.index(line)
+        del self._lines[i]
+        del self._addrs[i]
 
     def clear(self) -> None:
         self._lines.clear()
+        self._addrs.clear()
 
     def addrs(self) -> List[int]:
         """Resident block addresses, MRU first (for tests/debugging)."""
-        return [line.addr for line in self._lines]
+        return list(self._addrs)

@@ -18,6 +18,11 @@ Four subcommands cover the library's main entry points:
     The analytic Tables 2 and 3.
 
 All commands accept ``--scale {tiny,small,medium,paper}`` and ``--seed``.
+``run`` and ``sweep`` additionally accept the parallel-engine flags
+``--jobs N`` (simulate combinations' schemes across N worker processes),
+``--store DIR`` (persist per-task results as JSON) and ``--resume`` (skip
+tasks already completed in the store) — see :mod:`repro.engine`.  The
+engine produces bit-identical results to the serial path.
 """
 
 from __future__ import annotations
@@ -27,11 +32,12 @@ import sys
 from typing import List, Optional, Sequence
 
 from .analysis.overhead import SnugOverheadModel
-from .analysis.report import format_pct, render_table
+from .analysis.report import format_pct, render_combo_metrics, render_table
 from .common.config import SCALE_NAMES, scaled_config
+from .engine import DEFAULT_SCHEMES, ParallelRunner
 from .experiments.characterization import figure_distribution, render_figure as render_char
-from .experiments.performance import evaluate_all, render_figure
-from .experiments.runner import RunPlan, run_combo
+from .experiments.performance import FigureData, evaluate_all, render_figure, select_mixes
+from .experiments.runner import ComboResult, RunPlan, run_combo
 from .schemes.factory import SCHEMES
 from .workloads.mixes import MIXES, WorkloadMix, get_mix, mix_classes
 from .workloads.spec2000 import benchmark_names
@@ -66,12 +72,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=7)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    engine_flags = argparse.ArgumentParser(add_help=False)
+    engine_flags.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel engine: worker processes (0 = in-process task loop); "
+             "omit for the classic serial path",
+    )
+    engine_flags.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="parallel engine: persist per-task results as JSON under DIR",
+    )
+    engine_flags.add_argument(
+        "--resume", action="store_true",
+        help="parallel engine: skip tasks already completed in --store",
+    )
+
     p_char = sub.add_parser("characterize", help="set-level demand distribution (Figs 1-3)")
     p_char.add_argument("benchmark", choices=benchmark_names())
     p_char.add_argument("--intervals", type=int, default=30)
     p_char.add_argument("--interval-accesses", type=int, default=2_000)
 
-    p_run = sub.add_parser("run", help="simulate one workload mix")
+    p_run = sub.add_parser("run", help="simulate one workload mix", parents=[engine_flags])
     group = p_run.add_mutually_exclusive_group(required=True)
     group.add_argument("--mix", choices=[m.mix_id for m in MIXES])
     group.add_argument("--programs", nargs=4, metavar="PROG",
@@ -79,11 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--schemes",
         nargs="+",
-        default=["l2p", "l2s", "cc_best", "dsr", "snug"],
+        default=list(DEFAULT_SCHEMES),
         choices=[*SCHEMES, "cc_best"],
     )
 
-    p_sweep = sub.add_parser("sweep", help="class sweep (Figures 9-11)")
+    p_sweep = sub.add_parser("sweep", help="class sweep (Figures 9-11)", parents=[engine_flags])
     p_sweep.add_argument("--classes", nargs="+", choices=mix_classes(), default=None)
     p_sweep.add_argument("--combos-per-class", type=int, default=None)
 
@@ -110,6 +131,31 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_requested(args: argparse.Namespace) -> bool:
+    return args.jobs is not None or args.store is not None or args.resume
+
+
+def _make_engine(args: argparse.Namespace, config, plan, schemes) -> ParallelRunner:
+    # --store/--resume without --jobs wants the store, not parallelism:
+    # run tasks in-process (jobs=0) rather than paying a 1-worker pool.
+    return ParallelRunner(
+        config,
+        plan,
+        schemes=schemes,
+        jobs=0 if args.jobs is None else args.jobs,
+        store=args.store,
+        resume=args.resume,
+    )
+
+
+def _report_engine(runner: ParallelRunner) -> None:
+    workers = "in-process" if runner.jobs == 0 else f"{runner.jobs} worker(s)"
+    print(
+        f"engine: {runner.tasks_total} task(s), {runner.tasks_resumed} resumed, "
+        f"{runner.tasks_run} simulated on {workers}"
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = scaled_config(args.scale, seed=args.seed)
     plan = _plan_for(args.scale, args.seed)
@@ -119,16 +165,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         mix = WorkloadMix(mix_id="custom", mix_class="custom",
                           programs=tuple(args.programs))
     print(f"mix {mix.mix_id}: {' + '.join(mix.programs)}  (scale={args.scale})")
-    combo = run_combo(mix, config, plan, schemes=tuple(args.schemes))
-    rows = [
-        [name, m["throughput"], m["aws"], m["fs"]]
-        for name, m in combo.metrics.items()
-    ]
-    print(render_table(
-        ["scheme", "throughput", "aws", "fs"],
-        rows,
-        title="Normalized to L2P",
-    ))
+    combo: ComboResult
+    if _engine_requested(args):
+        runner = _make_engine(args, config, plan, tuple(args.schemes))
+        [combo] = runner.run([mix])
+        _report_engine(runner)
+    else:
+        combo = run_combo(mix, config, plan, schemes=tuple(args.schemes))
+    print(render_combo_metrics(combo.metrics))
     if combo.cc_best_prob is not None:
         print(f"CC(Best) spill probability: {combo.cc_best_prob:.0%}")
     return 0
@@ -137,12 +181,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     config = scaled_config(args.scale, seed=args.seed)
     plan = _plan_for(args.scale, args.seed)
-    data = evaluate_all(
-        config,
-        plan,
-        classes=args.classes,
-        combos_per_class=args.combos_per_class,
-    )
+    if _engine_requested(args):
+        mixes = select_mixes(args.classes, args.combos_per_class)
+        runner = _make_engine(args, config, plan, DEFAULT_SCHEMES)
+        data = FigureData(combos=runner.run(mixes))
+        _report_engine(runner)
+    else:
+        data = evaluate_all(
+            config,
+            plan,
+            classes=args.classes,
+            combos_per_class=args.combos_per_class,
+        )
     for metric in ("throughput", "aws", "fs"):
         print()
         print(render_figure(data, metric))
@@ -173,7 +223,15 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # Validate engine flags at the CLI boundary: a usage error beats an
+    # EngineError traceback from deep inside ParallelRunner.
+    if args.command in ("run", "sweep"):
+        if args.resume and args.store is None:
+            parser.error("--resume requires --store DIR")
+        if args.jobs is not None and args.jobs < 0:
+            parser.error("--jobs must be >= 0 (0 = in-process task loop)")
     return _COMMANDS[args.command](args)
 
 

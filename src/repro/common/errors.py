@@ -30,3 +30,12 @@ class SimulationError(ReproError, RuntimeError):
 
 class WorkloadError(ReproError, KeyError):
     """An unknown benchmark or workload-combination name was requested."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """The parallel experiment engine hit an unusable state.
+
+    Raised for result-store problems: a store whose manifest does not match
+    the requested configuration (resuming with different parameters would
+    silently mix incompatible results), or corrupt/missing task payloads.
+    """

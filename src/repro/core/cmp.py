@@ -7,6 +7,18 @@ modelling.  The run ends when every core has executed its target instruction
 count; cores that reach the target early *keep running* (their cache
 pressure must not vanish), but their IPC is measured at the crossing point,
 exactly like the paper's fixed-window methodology.
+
+Fast path
+---------
+:meth:`CmpSystem.run` inlines the trace-stepping of
+:class:`~repro.core.cpu.TraceCore` into its event loop: the per-access
+record fetch reads the core's pre-extracted plain-``int`` columns directly,
+bound methods (``heappush``/``heappop``/``scheme.access``) are cached in
+locals, and outcome tallies read the member's ``_value_`` attribute instead
+of the ``.value`` descriptor.  Every arithmetic expression matches the
+reference implementation in :mod:`repro.core.reference` term-for-term, so
+the produced :class:`SimResult` is bit-identical (asserted by the property
+and determinism suites).
 """
 
 from __future__ import annotations
@@ -50,6 +62,42 @@ class SimResult:
     def summary(self) -> str:
         cores = " ".join(f"{x:.4f}" for x in self.ipc)
         return f"{self.scheme}: throughput={self.throughput:.4f} ipc=[{cores}]"
+
+    # -- serialization (engine result store) -------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-native representation that round-trips bit-identically.
+
+        Every field is a plain int, float, str or container thereof; JSON
+        float serialization uses ``repr`` (shortest round-trip form), so a
+        dump/load cycle reproduces the exact same IEEE-754 doubles.
+        """
+        return {
+            "scheme": self.scheme,
+            "ipc": list(self.ipc),
+            "instructions": list(self.instructions),
+            "cycles": list(self.cycles),
+            "accesses": list(self.accesses),
+            "outcome_counts": dict(self.outcome_counts),
+            "stats": dict(self.stats),
+            "window_outcomes": [dict(w) for w in self.window_outcomes],
+            "window_latency": list(self.window_latency),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            scheme=data["scheme"],
+            ipc=list(data["ipc"]),
+            instructions=list(data["instructions"]),
+            cycles=list(data["cycles"]),
+            accesses=list(data["accesses"]),
+            outcome_counts=dict(data["outcome_counts"]),
+            stats=dict(data["stats"]),
+            window_outcomes=[dict(w) for w in data["window_outcomes"]],
+            window_latency=list(data["window_latency"]),
+        )
 
 
 class CmpSystem:
@@ -111,17 +159,23 @@ class CmpSystem:
         outcome_counts = {o.value: 0 for o in Outcome}
         window_outcomes = [{o.value: 0 for o in Outcome} for _ in self.cores]
         window_latency = [0 for _ in self.cores]
+        cores = self.cores
         heap: List[tuple[int, int]] = [
-            (core.peek_issue_time(), core.core_id) for core in self.cores
+            (core.peek_issue_time(), core.core_id) for core in cores
         ]
         heapq.heapify(heap)
-        remaining = len(self.cores)
+        remaining = len(cores)
         budget = max_events if max_events is not None else 0
         if budget <= 0:
             # Worst case CPI ~ DRAM latency per access; bound generously.
-            mean_gap = max(1.0, float(min(t.gaps.mean() for t in (c.trace for c in self.cores))))
+            mean_gap = max(1.0, float(min(t.gaps.mean() for t in (c.trace for c in cores))))
             total = target_instructions + warmup_instructions
-            budget = int(len(self.cores) * total / mean_gap * 50) + 10_000
+            budget = int(len(cores) * total / mean_gap * 50) + 10_000
+
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        scheme_access = self.scheme.access
+        finish_at = warmup_instructions + target_instructions
 
         events = 0
         while remaining and heap:
@@ -131,20 +185,44 @@ class CmpSystem:
                     f"event budget exhausted ({budget}); "
                     "a core appears unable to reach its instruction target"
                 )
-            _, cid = heapq.heappop(heap)
-            core = self.cores[cid]
-            was_done = core.done
-            issue, addr, write = core.next_access()
-            result = self.scheme.access(cid, addr, write, issue)
-            outcome_counts[result.outcome.value] += 1
-            if core.warmed_up and not was_done:
-                window_outcomes[cid][result.outcome.value] += 1
-                window_latency[cid] += result.latency
-            core.complete(issue, result.latency)
-            if core.done and not was_done:
+            cid = heappop(heap)[1]
+            core = cores[cid]
+            was_done = core.finish_time is not None
+            warmed = core.warmup_end_time is not None
+            # -- TraceCore.next_access, inlined on the plain-int columns --
+            pos = core.pos
+            issue = core.time + core._gap_cycles[pos]
+            result = scheme_access(cid, core._addrs[pos], core._writes[pos], issue)
+            latency = result.latency
+            core.instructions += core._gaps[pos]
+            core.accesses += 1
+            pos += 1
+            if pos >= core._n:
+                pos = 0
+                core.wraps += 1
+            core.pos = pos
+            # ``_value_`` is the member's plain instance attribute; going
+            # through ``.value`` would pay a Python-level descriptor call,
+            # and keying by the member itself would pay Enum.__hash__.
+            outcome_key = result.outcome._value_
+            outcome_counts[outcome_key] += 1
+            if warmed and not was_done:
+                window_outcomes[cid][outcome_key] += 1
+                window_latency[cid] += latency
+            # -- TraceCore.complete, inlined --
+            now = issue + core.l1_latency + latency
+            core.time = now
+            if not warmed and core.instructions >= core.warmup_instructions:
+                core.warmup_end_time = now
+            if (
+                not was_done
+                and core.warmup_end_time is not None
+                and core.instructions >= finish_at
+            ):
+                core.finish_time = now
                 remaining -= 1
             if remaining:
-                heapq.heappush(heap, (core.peek_issue_time(), cid))
+                heappush(heap, (now + core._gap_cycles[pos], cid))
 
         final_now = max(core.time for core in self.cores)
         self.scheme.finalize(final_now)

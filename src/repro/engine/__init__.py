@@ -1,0 +1,87 @@
+"""Parallel experiment engine: fan independent simulations across processes.
+
+The paper's evaluation is a grid of *independent* simulations — every
+(workload mix × L2 scheme × CC spill-probability point) can run on its own
+CPU with no shared state.  This package turns that observation into an
+orchestration layer over :mod:`concurrent.futures`:
+
+Task model
+----------
+:class:`~repro.engine.tasks.SimTask` is the unit of work: one scheme
+simulated over one mix's traces.  ``expand_mix_tasks`` explodes a requested
+scheme list into tasks exactly the way the serial path does —
+
+* ``"l2p"`` is always included (and first): the Table 5 metrics are
+  normalized to it;
+* ``"cc_best"`` expands into one ``"cc"`` task per spill probability in
+  ``RunPlan.cc_probs``; the merge step re-applies the paper's selection rule
+  (:func:`repro.experiments.runner.select_cc_best`, shared with the serial
+  sweep) over the per-probability results.
+
+Deterministic seeding
+---------------------
+A task re-derives everything from ``(config, plan, task)``; nothing flows
+between tasks.  Workload traces come from
+``derive_seed(plan.seed, mix_id, slot)`` — the same CRC-folded child-seed
+path the serial runner uses — and scheme-internal RNG streams come from
+``config.seed`` via :class:`~repro.common.rng.RngFactory`.  A task therefore
+produces a bit-identical :class:`~repro.core.cmp.SimResult` no matter which
+worker executes it, in which order, or whether it runs in-process
+(``jobs=0``), in a single worker, or in eight — the determinism test suite
+asserts byte equality across 1/2/4 workers against the serial path.
+
+Result store layout
+-------------------
+Passing ``store`` to :class:`~repro.engine.runner.ParallelRunner` persists
+every finished task as JSON (floats round-trip exactly via ``repr``):
+
+.. code-block:: text
+
+    <store>/
+        manifest.json           # config + plan + schemes fingerprint
+        results/
+            <task_id>.json      # {"task": {...}, "result": SimResult dict}
+
+``task_id`` is ``"<mix_id>__<scheme>"`` (``"...__cc__p050"`` for a CC
+probability point).  Writes are atomic (temp file + ``os.replace``), so a
+killed run never leaves a half-written result.  The manifest is verified on
+reopen: resuming with a different config/plan/scheme list raises
+:class:`~repro.common.errors.EngineError` instead of mixing incomparable
+results.
+
+Resume
+------
+With ``resume=True`` (CLI: ``--resume``) completed task ids are skipped and
+their results loaded from disk; only the remainder is dispatched.  The JSON
+round trip is exact, so a resumed sweep is byte-identical to an uninterrupted
+one.
+
+CLI usage
+---------
+``python -m repro run``/``sweep`` accept ``--jobs N`` (worker processes;
+``0`` = in-process execution without a pool), ``--store DIR`` and
+``--resume``::
+
+    python -m repro sweep --scale medium --jobs 8 --store out/sweep
+    # interrupted?  finish the remainder:
+    python -m repro sweep --scale medium --jobs 8 --store out/sweep --resume
+
+Follow-on direction (see ROADMAP): the task model is process-pool agnostic —
+a distributed backend only needs to ship ``(config, plan, task)`` tuples to
+remote workers and write the same store layout.
+"""
+
+from __future__ import annotations
+
+from .runner import DEFAULT_SCHEMES, ParallelRunner, execute_task
+from .store import ResultStore
+from .tasks import SimTask, expand_mix_tasks
+
+__all__ = [
+    "ParallelRunner",
+    "ResultStore",
+    "SimTask",
+    "expand_mix_tasks",
+    "execute_task",
+    "DEFAULT_SCHEMES",
+]

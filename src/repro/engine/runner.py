@@ -1,0 +1,226 @@
+"""``ParallelRunner`` — execute a sweep's tasks across worker processes.
+
+Execution and merging are strictly separated so the outcome cannot depend on
+scheduling: workers compute ``{task_id: SimResult}`` in whatever order the
+pool finishes, then the merge walks mixes and schemes in their *request*
+order, re-applying the serial CC(Best) selection rule.  Combined with
+per-task deterministic seeding (package docstring) this makes the merged
+:class:`~repro.experiments.runner.ComboResult` list bit-identical to the
+serial :func:`~repro.experiments.runner.run_combo` output for any worker
+count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Sequence
+
+from ..common.config import SystemConfig
+from ..common.errors import EngineError
+from ..core.cmp import SimResult
+from ..experiments.runner import (
+    DEFAULT_SCHEMES,
+    ComboResult,
+    RunPlan,
+    normalize_schemes,
+    run_traces,
+    select_cc_best,
+)
+from ..workloads.mixes import WorkloadMix, build_mix_traces
+from .store import ResultStore
+from .tasks import SimTask, expand_mix_tasks
+
+__all__ = ["ParallelRunner", "execute_task", "DEFAULT_SCHEMES"]
+
+
+def execute_task(config: SystemConfig, plan: RunPlan, task: SimTask) -> SimResult:
+    """Run one task from scratch: rebuild traces, simulate, return the result.
+
+    Traces are regenerated per task rather than shared between a mix's tasks:
+    generation is a small fraction of simulation cost and value-passing keeps
+    tasks embarrassingly parallel.  Module-level so the process pool can
+    pickle it.
+    """
+    mix = task.mix
+    traces = build_mix_traces(mix, config.l2.num_sets, plan.n_accesses, plan.seed)
+    kwargs = {}
+    if task.cc_prob is not None:
+        kwargs["spill_probability"] = task.cc_prob
+    return run_traces(
+        task.scheme,
+        config,
+        traces,
+        plan.target_instructions,
+        plan.warmup_instructions,
+        **kwargs,
+    )
+
+
+class ParallelRunner:
+    """Fan a sweep's (mix × scheme × CC-probability) grid over processes.
+
+    Parameters
+    ----------
+    config, plan:
+        Shared by every task (both are small frozen dataclasses; they ship
+        to workers by pickling).
+    schemes:
+        Scheme names as the CLI/serial runner accept them (``"cc_best"``
+        triggers the probability sweep).
+    jobs:
+        Worker process count; ``0`` executes tasks inline in this process
+        (no pool — handy for tests and already-parallel callers).
+    store:
+        Optional directory for the on-disk JSON result store.
+    resume:
+        Skip tasks whose results are already in the store (requires
+        *store*).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        plan: RunPlan,
+        *,
+        schemes: Sequence[str] = DEFAULT_SCHEMES,
+        jobs: int = 1,
+        store: str | None = None,
+        resume: bool = False,
+    ) -> None:
+        if jobs < 0:
+            raise EngineError("jobs must be >= 0 (0 = run tasks in-process)")
+        if resume and store is None:
+            raise EngineError("--resume requires a result store directory")
+        self.config = config
+        self.plan = plan
+        self.schemes = list(schemes)
+        self.jobs = jobs
+        self.store = ResultStore(store) if store is not None else None
+        self.resume = resume
+        # Filled by run() for reporting (CLI progress line, resume tests).
+        self.tasks_total = 0
+        self.tasks_resumed = 0
+        self.tasks_run = 0
+
+    # -- manifest ----------------------------------------------------------
+
+    def _manifest(self) -> dict:
+        plan = dataclasses.asdict(self.plan)
+        plan["cc_probs"] = list(plan["cc_probs"])
+        return {
+            "config": dataclasses.asdict(self.config),
+            "plan": plan,
+            "schemes": normalize_schemes(self.schemes),
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, mixes: Sequence[WorkloadMix]) -> List[ComboResult]:
+        """Simulate every task of *mixes* and merge per-mix combo results."""
+        # Results (in memory and on disk) are keyed by task_id, which embeds
+        # the mix_id — two mixes sharing an id would silently collide.
+        seen_ids = set()
+        for mix in mixes:
+            if mix.mix_id in seen_ids:
+                raise EngineError(
+                    f"duplicate mix_id {mix.mix_id!r} in one run: give each "
+                    "custom mix a distinct id"
+                )
+            seen_ids.add(mix.mix_id)
+        per_mix_tasks = [
+            expand_mix_tasks(mix, self.schemes, self.plan.cc_probs) for mix in mixes
+        ]
+        tasks = [t for group in per_mix_tasks for t in group]
+        self.tasks_total = len(tasks)
+
+        results: Dict[str, SimResult] = {}
+        if self.store is not None:
+            self.store.initialize(self._manifest())
+            if self.resume:
+                done = self.store.completed_ids()
+                for task in tasks:
+                    if task.task_id in done:
+                        payload = self.store.load(task.task_id)
+                        # task_id alone cannot distinguish two custom mixes
+                        # (both are "custom__<scheme>"): verify the stored
+                        # task describes the same mix/scheme before reusing.
+                        stored_task = payload.get("task", {})
+                        current = dataclasses.asdict(task)
+                        current["programs"] = list(current["programs"])
+                        if stored_task != current:
+                            raise EngineError(
+                                f"stored result {task.task_id!r} in {self.store.root} "
+                                f"was produced by a different task "
+                                f"({stored_task.get('programs')} vs {task.programs}); "
+                                "use a fresh store directory"
+                            )
+                        results[task.task_id] = SimResult.from_dict(payload["result"])
+        self.tasks_resumed = len(results)
+
+        pending = [t for t in tasks if t.task_id not in results]
+        self.tasks_run = len(pending)
+        for task, result in self._execute(pending):
+            if self.store is not None:
+                self.store.save(
+                    task.task_id,
+                    {"task": dataclasses.asdict(task), "result": result.to_dict()},
+                )
+            results[task.task_id] = result
+
+        return [
+            self._merge_mix(mix, group, results)
+            for mix, group in zip(mixes, per_mix_tasks)
+        ]
+
+    def _execute(self, pending: Sequence[SimTask]):
+        """Yield ``(task, result)`` pairs, in-process or via the pool."""
+        if not pending:
+            return
+        if self.jobs == 0:
+            for task in pending:
+                yield task, execute_task(self.config, self.plan, task)
+            return
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(execute_task, self.config, self.plan, task): task
+                for task in pending
+            }
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
+    # -- merging -----------------------------------------------------------
+
+    def _merge_mix(
+        self,
+        mix: WorkloadMix,
+        mix_tasks: Sequence[SimTask],
+        results: Dict[str, SimResult],
+    ) -> ComboResult:
+        """Assemble one mix's ComboResult in request order (scheduling-free)."""
+        # Plain (non-CC-sweep) tasks by scheme name; ids come from the tasks
+        # themselves so the task_id format lives only in SimTask.
+        plain = {t.scheme: t for t in mix_tasks if t.cc_prob is None}
+        merged: Dict[str, SimResult] = {}
+        cc_best_prob: float | None = None
+        cc_pairs = [
+            (t.cc_prob, results[t.task_id])
+            for t in mix_tasks
+            if t.scheme == "cc" and t.cc_prob is not None
+        ]
+        for name in normalize_schemes(self.schemes):
+            if name == "cc_best":
+                best, cc_best_prob = select_cc_best(cc_pairs)
+                merged["cc_best"] = best
+            else:
+                if name not in plain:  # pragma: no cover - defensive
+                    raise EngineError(f"missing task for scheme {name!r} during merge")
+                merged[name] = results[plain[name].task_id]
+        combo = ComboResult(
+            mix_id=mix.mix_id,
+            mix_class=mix.mix_class,
+            results=merged,
+            cc_best_prob=cc_best_prob,
+        )
+        combo.compute_metrics()
+        return combo

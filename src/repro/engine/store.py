@@ -1,0 +1,88 @@
+"""On-disk JSON result store with manifest guard and atomic writes.
+
+Layout (see the package docstring)::
+
+    <root>/manifest.json          -- config/plan/schemes fingerprint
+    <root>/results/<task_id>.json -- one finished task each
+
+Python's ``json`` serializes floats with ``repr`` (shortest round-trip
+form), so metrics loaded from the store are bit-identical to the values the
+simulation produced — the property the engine's determinism contract rests
+on.  Writes go through a temp file + ``os.replace`` so an interrupted run
+leaves either a complete result or none.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Set
+
+from ..common.errors import EngineError
+
+__all__ = ["ResultStore"]
+
+#: Bumped when the store layout or result schema changes incompatibly.
+STORE_VERSION = 1
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """Directory-backed store of per-task simulation results."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.manifest_path = self.root / "manifest.json"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self, manifest: dict) -> None:
+        """Create the store (or reopen it, verifying the manifest matches).
+
+        *manifest* must be JSON-native.  Reopening with a different manifest
+        raises :class:`EngineError`: results produced under another
+        config/plan are not comparable and must not be mixed.
+        """
+        stamped = {"store_version": STORE_VERSION, **manifest}
+        # Normalize through JSON so tuples/lists etc. compare equal.
+        stamped = json.loads(json.dumps(stamped))
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        if self.manifest_path.exists():
+            existing = json.loads(self.manifest_path.read_text())
+            if existing != stamped:
+                raise EngineError(
+                    f"result store {self.root} was created with a different "
+                    "config/plan/scheme set; use a fresh store directory "
+                    "(or the matching parameters) instead of mixing results"
+                )
+        else:
+            _atomic_write_json(self.manifest_path, stamped)
+
+    # -- task results ------------------------------------------------------
+
+    def completed_ids(self) -> Set[str]:
+        """Task ids with a fully-written result on disk."""
+        if not self.results_dir.is_dir():
+            return set()
+        return {p.stem for p in self.results_dir.glob("*.json")}
+
+    def save(self, task_id: str, payload: dict) -> None:
+        """Persist one finished task atomically."""
+        _atomic_write_json(self.results_dir / f"{task_id}.json", payload)
+
+    def load(self, task_id: str) -> dict:
+        """Load one finished task; raises :class:`EngineError` if absent/corrupt."""
+        path = self.results_dir / f"{task_id}.json"
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            raise EngineError(f"no stored result for task {task_id!r} in {self.root}") from None
+        except json.JSONDecodeError as exc:
+            raise EngineError(f"corrupt stored result {path}: {exc}") from None

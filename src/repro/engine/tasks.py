@@ -1,0 +1,79 @@
+"""The engine's unit of work: one scheme over one workload mix.
+
+A :class:`SimTask` is a frozen, picklable value object carrying everything a
+worker needs *besides* the shared ``(config, plan)`` pair.  The mix is
+embedded by value (id, class, program names) rather than looked up in the
+Table 8 registry so custom mixes (``repro run --programs ...``) parallelize
+exactly like registered ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..experiments.runner import normalize_schemes
+from ..workloads.mixes import WorkloadMix
+
+__all__ = ["SimTask", "expand_mix_tasks"]
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One simulation: a factory scheme name bound to one mix.
+
+    ``scheme`` is the *factory* name (``"cc"``, not ``"cc_best"`` — the
+    CC(Best) sweep is expanded into one task per probability, carried in
+    ``cc_prob``).
+    """
+
+    mix_id: str
+    mix_class: str
+    programs: Tuple[str, ...]
+    scheme: str
+    cc_prob: float | None = None
+
+    @property
+    def task_id(self) -> str:
+        """Stable file-system-safe identifier, unique within one run plan."""
+        if self.cc_prob is None:
+            return f"{self.mix_id}__{self.scheme}"
+        return f"{self.mix_id}__{self.scheme}__p{int(round(self.cc_prob * 100)):03d}"
+
+    @property
+    def mix(self) -> WorkloadMix:
+        """Reconstruct the mix value object (validates program names)."""
+        return WorkloadMix(
+            mix_id=self.mix_id, mix_class=self.mix_class, programs=self.programs
+        )
+
+
+def expand_mix_tasks(
+    mix: WorkloadMix,
+    schemes: Sequence[str],
+    cc_probs: Sequence[float],
+) -> List[SimTask]:
+    """All tasks for one mix, mirroring the serial runner's scheme handling.
+
+    ``l2p`` is forced in (metrics baseline) and ``cc_best`` expands to one
+    ``cc`` task per probability in *cc_probs* — the same rules
+    :func:`repro.experiments.runner.run_combo` applies, so a merged parallel
+    run covers exactly the simulations the serial run would.
+    """
+
+    def task(scheme: str, prob: float | None = None) -> SimTask:
+        return SimTask(
+            mix_id=mix.mix_id,
+            mix_class=mix.mix_class,
+            programs=mix.programs,
+            scheme=scheme,
+            cc_prob=prob,
+        )
+
+    tasks: List[SimTask] = []
+    for name in normalize_schemes(schemes):
+        if name == "cc_best":
+            tasks.extend(task("cc", prob) for prob in cc_probs)
+        else:
+            tasks.append(task(name))
+    return tasks

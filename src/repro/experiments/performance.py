@@ -16,10 +16,17 @@ from typing import Dict, List, Sequence
 from ..analysis.metrics import geometric_mean
 from ..analysis.report import render_series
 from ..common.config import SystemConfig
-from ..workloads.mixes import MIXES, mix_classes, mixes_in_class
-from .runner import ComboResult, RunPlan, run_combo
+from ..workloads.mixes import MIXES, WorkloadMix, mix_classes, mixes_in_class
+from .runner import DEFAULT_SCHEMES, ComboResult, RunPlan, run_combo
 
-__all__ = ["FigureData", "evaluate_class", "evaluate_all", "figure_series", "render_figure"]
+__all__ = [
+    "FigureData",
+    "select_mixes",
+    "evaluate_class",
+    "evaluate_all",
+    "figure_series",
+    "render_figure",
+]
 
 #: Legend order of Figures 9-11 (L2P is the implicit 1.0 baseline).
 FIGURE_SCHEMES: tuple[str, ...] = ("l2s", "cc_best", "dsr", "snug")
@@ -60,11 +67,29 @@ class FigureData:
         return seen
 
 
+def select_mixes(
+    classes: Sequence[str] | None = None,
+    combos_per_class: int | None = None,
+) -> List[WorkloadMix]:
+    """The Table 8 combinations of a (possibly trimmed) sweep, in figure order.
+
+    Shared by the serial :func:`evaluate_all` loop and the CLI's parallel
+    path so both enumerate exactly the same grid.
+    """
+    out = []
+    for mix_class in classes or mix_classes():
+        mixes = mixes_in_class(mix_class)
+        if combos_per_class is not None:
+            mixes = mixes[:combos_per_class]
+        out.extend(mixes)
+    return out
+
+
 def evaluate_class(
     mix_class: str,
     config: SystemConfig,
     plan: RunPlan,
-    schemes: Sequence[str] = ("l2p", "l2s", "cc_best", "dsr", "snug"),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
 ) -> List[ComboResult]:
     """Run every combination of one class."""
     return [run_combo(mix, config, plan, schemes) for mix in mixes_in_class(mix_class)]
@@ -73,7 +98,7 @@ def evaluate_class(
 def evaluate_all(
     config: SystemConfig,
     plan: RunPlan,
-    schemes: Sequence[str] = ("l2p", "l2s", "cc_best", "dsr", "snug"),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
     classes: Sequence[str] | None = None,
     combos_per_class: int | None = None,
 ) -> FigureData:
@@ -83,12 +108,8 @@ def evaluate_all(
     quick runs; ``None`` runs all 21.
     """
     data = FigureData()
-    for mix_class in classes or mix_classes():
-        mixes = mixes_in_class(mix_class)
-        if combos_per_class is not None:
-            mixes = mixes[:combos_per_class]
-        for mix in mixes:
-            data.combos.append(run_combo(mix, config, plan, schemes))
+    for mix in select_mixes(classes, combos_per_class):
+        data.combos.append(run_combo(mix, config, plan, schemes))
     return data
 
 

@@ -14,7 +14,7 @@ paper's per-combination methodology:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..analysis.metrics import average_weighted_speedup, fair_speedup, normalized_throughput
 from ..common.config import SystemConfig
@@ -23,7 +23,22 @@ from ..schemes.factory import make_scheme
 from ..workloads.mixes import WorkloadMix, build_mix_traces
 from ..workloads.trace import Trace
 
-__all__ = ["RunPlan", "ComboResult", "run_traces", "run_cc_best", "run_combo", "CC_PROBS_FULL", "CC_PROBS_FAST"]
+__all__ = [
+    "RunPlan",
+    "ComboResult",
+    "run_traces",
+    "run_cc_best",
+    "run_combo",
+    "select_cc_best",
+    "normalize_schemes",
+    "CC_PROBS_FULL",
+    "CC_PROBS_FAST",
+    "DEFAULT_SCHEMES",
+]
+
+#: The paper's five-scheme comparison (Figures 9-11) — the single source of
+#: truth for every default scheme list (serial sweep, parallel engine, CLI).
+DEFAULT_SCHEMES: tuple[str, ...] = ("l2p", "l2s", "cc_best", "dsr", "snug")
 
 #: The paper's CC(Best) sweep.
 CC_PROBS_FULL: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
@@ -83,6 +98,39 @@ def run_traces(
     return system.run(target_instructions, warmup_instructions=warmup_instructions)
 
 
+def select_cc_best(results_by_prob: Iterable[Tuple[float, SimResult]]) -> tuple[SimResult, float]:
+    """Pick CC(Best) from per-probability results: first strict throughput max.
+
+    This is the single selection rule shared by the serial sweep
+    (:func:`run_cc_best`) and the parallel engine's merge step
+    (:mod:`repro.engine.runner`) — ties resolve to the earliest probability
+    in iteration order, so both paths pick the identical winner.  The chosen
+    result is relabelled ``"cc_best"`` in place.
+    """
+    best: SimResult | None = None
+    best_prob = 0.0
+    for prob, res in results_by_prob:
+        if best is None or res.throughput > best.throughput:
+            best, best_prob = res, prob
+    if best is None:
+        raise ValueError("select_cc_best needs at least one result")
+    best.scheme = "cc_best"
+    return best, best_prob
+
+
+def normalize_schemes(schemes: Sequence[str]) -> List[str]:
+    """The scheme list actually simulated: L2P always present (and first).
+
+    Metrics are normalized to L2P, so every run needs the baseline; keeping
+    the insertion rule in one helper keeps the serial path and the engine's
+    task expansion in lockstep.
+    """
+    wanted = list(schemes)
+    if "l2p" not in wanted:
+        wanted.insert(0, "l2p")
+    return wanted
+
+
 def run_cc_best(
     config: SystemConfig,
     traces: Sequence[Trace],
@@ -91,23 +139,18 @@ def run_cc_best(
     warmup_instructions: int = 0,
 ) -> tuple[SimResult, float]:
     """The paper's CC(Best): best-throughput spill probability per workload."""
-    best: SimResult | None = None
-    best_prob = 0.0
-    for prob in probs:
-        res = run_traces("cc", config, traces, target_instructions,
-                         warmup_instructions, spill_probability=prob)
-        if best is None or res.throughput > best.throughput:
-            best, best_prob = res, prob
-    assert best is not None
-    best.scheme = "cc_best"
-    return best, best_prob
+    return select_cc_best(
+        (prob, run_traces("cc", config, traces, target_instructions,
+                          warmup_instructions, spill_probability=prob))
+        for prob in probs
+    )
 
 
 def run_combo(
     mix: WorkloadMix,
     config: SystemConfig,
     plan: RunPlan,
-    schemes: Sequence[str] = ("l2p", "l2s", "cc_best", "dsr", "snug"),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
 ) -> ComboResult:
     """Run a Table 8 combination under the requested schemes.
 
@@ -118,10 +161,7 @@ def run_combo(
     results: Dict[str, SimResult] = {}
     cc_best_prob: float | None = None
 
-    wanted = list(schemes)
-    if "l2p" not in wanted:
-        wanted.insert(0, "l2p")
-    for name in wanted:
+    for name in normalize_schemes(schemes):
         if name == "cc_best":
             res, cc_best_prob = run_cc_best(
                 config, traces, plan.target_instructions, plan.cc_probs,

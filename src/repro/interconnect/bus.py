@@ -31,29 +31,37 @@ class SnoopBus:
         self.config = config or BusConfig()
         self.stats = stats if stats is not None else StatGroup("bus")
         self._busy_until = 0
+        self._cost_cache: dict[int, int] = {}  # nbytes -> transfer cycles
+        # Raw counter dict: StatGroup.add is a function call per bump and the
+        # bus is touched several times per miss; incrementing the backing
+        # defaultdict directly is observably identical.
+        self._counters = self.stats.counters
 
     def _occupy(self, now: int, nbytes: int) -> int:
         """Reserve bandwidth for *nbytes* at *now*; return queueing delay."""
-        cost = self.config.transfer_cycles(nbytes)
-        self.stats.add("busy_cycles", cost)
-        self.stats.add("bytes", nbytes)
+        cost = self._cost_cache.get(nbytes)
+        if cost is None:
+            cost = self._cost_cache[nbytes] = self.config.transfer_cycles(nbytes)
+        counters = self._counters
+        counters["busy_cycles"] += cost
+        counters["bytes"] += nbytes
         if not self.config.model_contention:
             return 0
         start = max(now, self._busy_until)
         delay = start - now
         self._busy_until = start + cost
         if delay:
-            self.stats.add("queue_cycles", delay)
+            counters["queue_cycles"] += delay
         return delay
 
     def snoop(self, now: int) -> int:
         """Broadcast an address-only transaction (retrieval/spill request)."""
-        self.stats.add("snoops")
+        self._counters["snoops"] += 1
         return self._occupy(now, ADDRESS_BYTES)
 
     def transfer(self, now: int, nbytes: int) -> int:
         """Move a data payload (cache line) across the bus."""
-        self.stats.add("transfers")
+        self._counters["transfers"] += 1
         return self._occupy(now, nbytes)
 
     def reset(self) -> None:

@@ -29,6 +29,12 @@ class Dram:
         self.config = config or DramConfig()
         self.stats = stats if stats is not None else StatGroup("dram")
         self._bank_free_at = [0] * self.config.num_banks
+        # Hot-path caches: every L2 miss lands here, so skip the per-access
+        # config attribute chain and StatGroup.add calls (incrementing the
+        # backing defaultdict directly is observably identical).
+        self._counters = self.stats.counters
+        self._latency = self.config.latency
+        self._model_banks = self.config.model_banks
 
     def access(self, block_addr: int, now: int, *, is_write: bool = False) -> int:
         """Issue an access at time *now*; return its latency in cycles.
@@ -37,9 +43,10 @@ class Dram:
         request first waits for its bank to free, then occupies it for
         ``bank_busy_cycles``.
         """
-        self.stats.add("writes" if is_write else "reads")
-        latency = self.config.latency
-        if self.config.model_banks:
+        counters = self._counters
+        counters["writes" if is_write else "reads"] += 1
+        latency = self._latency
+        if self._model_banks:
             bank = block_addr & (self.config.num_banks - 1)
             start = max(now, self._bank_free_at[bank])
             queue_delay = start - now
@@ -48,7 +55,7 @@ class Dram:
                 self.stats.add("bank_conflict_cycles", queue_delay)
                 self.stats.add("bank_conflicts")
             latency += queue_delay
-        self.stats.add("busy_cycles", latency)
+        counters["busy_cycles"] += latency
         return latency
 
     def reset(self) -> None:

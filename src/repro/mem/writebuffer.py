@@ -37,6 +37,9 @@ class WriteBackBuffer:
         # block_addr -> deposit time; insertion order == FIFO order.
         self._entries: "OrderedDict[int, int]" = OrderedDict()
         self._next_drain_at = 0
+        # Hot-path caches (try_read runs on every L2 miss).
+        self._direct_read = self.config.direct_read
+        self._drain_cycles = self.config.drain_cycles
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -53,7 +56,7 @@ class WriteBackBuffer:
         while self._entries and self._next_drain_at <= now:
             self._entries.popitem(last=False)
             self.stats.add("drained")
-            self._next_drain_at += self.config.drain_cycles
+            self._next_drain_at += self._drain_cycles
 
     def deposit(self, block_addr: int, now: int) -> int:
         """Deposit a dirty victim at time *now*; return stall cycles (0 if none)."""
@@ -82,10 +85,12 @@ class WriteBackBuffer:
 
     def try_read(self, block_addr: int, now: int) -> bool:
         """Attempt a direct read; on hit the entry is recalled (removed)."""
-        if not self.config.direct_read:
+        if not self._direct_read:
             return False
-        self._drain_until(now)
-        if block_addr in self._entries:
+        entries = self._entries
+        if entries and self._next_drain_at <= now:
+            self._drain_until(now)
+        if block_addr in entries:
             del self._entries[block_addr]
             self.stats.add("direct_reads")
             return True

@@ -106,15 +106,26 @@ class PrivateL2Base(L2Scheme):
             WriteBackBuffer(config.write_buffer, self.stats.child(f"wbuf_{i}")) for i in range(n)
         ]
         self.amap = self.slices[0].amap
+        self._peers = [[(core + d) % n for d in range(1, n)] for core in range(n)]
+        # Hot-path caches: the per-slice stat groups (child() costs an
+        # f-string plus a dict probe per call) and the set-index mask.
+        self._slice_stats = [self.stats.child(f"l2_{i}") for i in range(n)]
+        self._set_mask = config.l2.num_sets - 1
+        # Local hits all share one latency and outcome; AccessResult is
+        # frozen, so a single shared instance replaces a per-hit construction.
+        self._local_hit_result = AccessResult(config.latency.l2_local, Outcome.LOCAL_HIT)
 
     def peers_of(self, core: int) -> List[int]:
-        """Snoop response order: nearest neighbour first (deterministic)."""
-        n = self.config.num_cores
-        return [(core + d) % n for d in range(1, n)]
+        """Snoop response order: nearest neighbour first (deterministic).
+
+        Returns a cached list (one allocation per core at construction, not
+        one per remote access) — callers iterate, they must not mutate.
+        """
+        return self._peers[core]
 
     def _dispose_dirty(self, core: int, victim: CacheLine, now: int) -> int:
         """Deposit a dirty victim in the core's write buffer; return stall."""
-        self.stats.child(f"l2_{core}").add("writebacks")
+        self._slice_stats[core].add("writebacks")
         return self.wbufs[core].deposit(victim.addr, now)
 
     def _local_paths(
@@ -128,13 +139,12 @@ class PrivateL2Base(L2Scheme):
         caller-specific victim disposition is *not* applied here, so this
         helper refills via :meth:`_refill` which subclasses override.
         """
-        slice_ = self.slices[core]
-        line = slice_.lookup(block_addr)
+        line = self.slices[core].lookup(block_addr)
         if line is not None:
             if is_write:
                 line.dirty = True
             self._on_local_hit(core, block_addr, now)
-            return AccessResult(self.config.latency.l2_local, Outcome.LOCAL_HIT)
+            return self._local_hit_result
         if self.wbufs[core].try_read(block_addr, now):
             fill = CacheLine(addr=block_addr, dirty=True, owner=core)
             stall = self._refill(core, fill, now)
@@ -155,7 +165,7 @@ class PrivateL2Base(L2Scheme):
         if victim is None:
             return 0
         if victim.cc:
-            self.stats.child(f"l2_{core}").add("cc_evicted")
+            self._slice_stats[core].add("cc_evicted")
             return 0
         if victim.dirty:
             return self._dispose_dirty(core, victim, now)

@@ -54,18 +54,18 @@ class CooperativeCaching(PrivateL2Base):
             line = self.slices[peer].probe(block_addr)
             if line is not None:
                 self.slices[peer].invalidate(block_addr)
-                self.stats.child(f"l2_{peer}").add("forwards")
+                self._slice_stats[peer].add("forwards")
                 delay = self.bus.transfer(now, self.config.l2.line_bytes)
                 fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
                 stall = self._refill(core, fill, now)
-                self.stats.child(f"l2_{core}").add("remote_hits")
+                self._slice_stats[core].add("remote_hits")
                 return AccessResult(
                     self.config.latency.l2_remote + delay + stall, Outcome.REMOTE_HIT
                 )
         latency = self._memory_fetch(block_addr, now)
         fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
         stall = self._refill(core, fill, now)
-        self.stats.child(f"l2_{core}").add("dram_fetches")
+        self._slice_stats[core].add("dram_fetches")
         return AccessResult(latency + stall, Outcome.MEMORY)
 
     # -- spilling -----------------------------------------------------------
@@ -75,7 +75,7 @@ class CooperativeCaching(PrivateL2Base):
             return 0
         if victim.cc:
             # 1-chance forwarding: a hosted block dies on its second eviction.
-            self.stats.child(f"l2_{core}").add("cc_evicted")
+            self._slice_stats[core].add("cc_evicted")
             return 0
         if victim.dirty:
             return self._dispose_dirty(core, victim, now)
@@ -93,13 +93,13 @@ class CooperativeCaching(PrivateL2Base):
         self.bus.transfer(now, self.config.l2.line_bytes)
         hosted = CacheLine(addr=victim.addr, dirty=False, cc=True, owner=victim.owner)
         host_victim = self.slices[host].fill(hosted)
-        self.stats.child(f"l2_{owner}").add("spills_out")
-        self.stats.child(f"l2_{host}").add("spills_hosted")
+        self._slice_stats[owner].add("spills_out")
+        self._slice_stats[host].add("spills_hosted")
         # The host's own victim is disposed *without* cascading spills
         # (1-chance forwarding applies transitively to spill-induced
         # evictions; only demand-fill evictions trigger spills).
         if host_victim is not None:
             if host_victim.cc:
-                self.stats.child(f"l2_{host}").add("cc_evicted")
+                self._slice_stats[host].add("cc_evicted")
             elif host_victim.dirty:
                 self._dispose_dirty(host, host_victim, now)

@@ -95,11 +95,11 @@ class DynamicSpillReceive(PrivateL2Base):
             line = self.slices[peer].probe(block_addr)
             if line is not None:
                 self.slices[peer].invalidate(block_addr)
-                self.stats.child(f"l2_{peer}").add("forwards")
+                self._slice_stats[peer].add("forwards")
                 delay = self.bus.transfer(now, self.config.l2.line_bytes)
                 fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
                 stall = self._refill(core, fill, now)
-                self.stats.child(f"l2_{core}").add("remote_hits")
+                self._slice_stats[core].add("remote_hits")
                 return AccessResult(
                     self.config.latency.l2_remote + delay + stall, Outcome.REMOTE_HIT
                 )
@@ -107,11 +107,11 @@ class DynamicSpillReceive(PrivateL2Base):
         # peer (a successful spill paying off) must *not* count against the
         # spill policy — that saved miss is exactly the signal set dueling
         # exists to measure.
-        self._update_duel(core, self.amap.set_index(block_addr))
+        self._update_duel(core, block_addr & self._set_mask)
         latency = self._memory_fetch(block_addr, now)
         fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
         stall = self._refill(core, fill, now)
-        self.stats.child(f"l2_{core}").add("dram_fetches")
+        self._slice_stats[core].add("dram_fetches")
         return AccessResult(latency + stall, Outcome.MEMORY)
 
     # -- spilling ------------------------------------------------------------
@@ -120,11 +120,11 @@ class DynamicSpillReceive(PrivateL2Base):
         if victim is None:
             return 0
         if victim.cc:
-            self.stats.child(f"l2_{core}").add("cc_evicted")
+            self._slice_stats[core].add("cc_evicted")
             return 0
         if victim.dirty:
             return self._dispose_dirty(core, victim, now)
-        set_index = self.amap.set_index(victim.addr)
+        set_index = victim.addr & self._set_mask
         if self._set_spills(core, set_index):
             self._spill(core, victim, now)
         return 0
@@ -133,7 +133,7 @@ class DynamicSpillReceive(PrivateL2Base):
         """Spill to the next receiver-state peer (round-robin); drop if none."""
         receivers = [p for p in self.peers_of(owner) if self._cache_receives(p)]
         if not receivers:
-            self.stats.child(f"l2_{owner}").add("spills_dropped")
+            self._slice_stats[owner].add("spills_dropped")
             return
         host = receivers[self._rr % len(receivers)]
         self._rr += 1
@@ -141,10 +141,10 @@ class DynamicSpillReceive(PrivateL2Base):
         self.bus.transfer(now, self.config.l2.line_bytes)
         hosted = CacheLine(addr=victim.addr, dirty=False, cc=True, owner=victim.owner)
         host_victim = self.slices[host].fill(hosted)
-        self.stats.child(f"l2_{owner}").add("spills_out")
-        self.stats.child(f"l2_{host}").add("spills_hosted")
+        self._slice_stats[owner].add("spills_out")
+        self._slice_stats[host].add("spills_hosted")
         if host_victim is not None:
             if host_victim.cc:
-                self.stats.child(f"l2_{host}").add("cc_evicted")
+                self._slice_stats[host].add("cc_evicted")
             elif host_victim.dirty:
                 self._dispose_dirty(host, host_victim, now)

@@ -28,5 +28,5 @@ class PrivateL2(PrivateL2Base):
         latency = self._memory_fetch(block_addr, now)
         fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
         stall = self._refill(core, fill, now)
-        self.stats.child(f"l2_{core}").add("dram_fetches")
+        self._slice_stats[core].add("dram_fetches")
         return AccessResult(latency + stall, Outcome.MEMORY)

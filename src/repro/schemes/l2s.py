@@ -18,7 +18,6 @@ from ..cache.block import CacheLine
 from ..cache.cache import SetAssocCache
 from ..common.bitops import log2_exact
 from ..common.config import SystemConfig
-from ..common.stats import StatGroup
 from ..mem.writebuffer import WriteBackBuffer
 from .base import AccessResult, L2Scheme, Outcome
 
@@ -41,38 +40,44 @@ class SharedL2(L2Scheme):
         self.wbufs: List[WriteBackBuffer] = [
             WriteBackBuffer(config.write_buffer, self.stats.child(f"wbuf_{i}")) for i in range(n)
         ]
+        # Hot-path cache of the per-bank stat groups (same objects as the
+        # banks'): stats.child() costs an f-string plus a dict probe per call.
+        self._bank_stats = [self.stats.child(f"bank_{i}") for i in range(n)]
+        lat = config.latency
+        self._lat_local, self._lat_remote = lat.l2_local, lat.l2_remote
+        # Hits carry a fixed latency per locality; share the frozen results.
+        self._local_hit = AccessResult(lat.l2_local, Outcome.LOCAL_HIT)
+        self._remote_hit = AccessResult(lat.l2_remote, Outcome.REMOTE_HIT)
 
     def _route(self, block_addr: int) -> tuple[int, int]:
         """Return ``(bank, bank_local_block_addr)`` for a block address."""
         bank = block_addr & (self.num_banks - 1)
         return bank, block_addr >> self._bank_bits
 
-    def _bank_latency(self, core: int, bank: int) -> int:
-        lat = self.config.latency
-        return lat.l2_local if bank == core else lat.l2_remote
-
     def access(self, core: int, block_addr: int, is_write: bool, now: int) -> AccessResult:
-        bank, local_addr = self._route(block_addr)
-        bstats: StatGroup = self.stats.child(f"bank_{bank}")
-        base = self._bank_latency(core, bank)
-        if bank != core:
+        bank = block_addr & (self.num_banks - 1)
+        local_addr = block_addr >> self._bank_bits
+        if bank == core:
+            base, hit_result = self._lat_local, self._local_hit
+        else:
+            base, hit_result = self._lat_remote, self._remote_hit
             self.bus.snoop(now)
         line = self.banks[bank].lookup(local_addr)
         if line is not None:
             if is_write:
                 line.dirty = True
-            return AccessResult(base, Outcome.LOCAL_HIT if bank == core else Outcome.REMOTE_HIT)
+            return hit_result
         if self.wbufs[bank].try_read(local_addr, now):
             stall = self._fill(bank, local_addr, dirty=True, owner=core, now=now)
             return AccessResult(base + stall, Outcome.WBUF_HIT)
         latency = self._memory_fetch(block_addr, now)
         stall = self._fill(bank, local_addr, dirty=is_write, owner=core, now=now)
-        bstats.add("dram_fetches")
+        self._bank_stats[bank].add("dram_fetches")
         return AccessResult(base + latency + stall, Outcome.MEMORY)
 
     def _fill(self, bank: int, local_addr: int, *, dirty: bool, owner: int, now: int) -> int:
         victim = self.banks[bank].fill(CacheLine(addr=local_addr, dirty=dirty, owner=owner))
         if victim is not None and victim.dirty:
-            self.stats.child(f"bank_{bank}").add("writebacks")
+            self._bank_stats[bank].add("writebacks")
             return self.wbufs[bank].deposit(victim.addr, now)
         return 0

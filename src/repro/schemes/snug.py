@@ -107,7 +107,7 @@ class SnugCache(PrivateL2Base):
                 meta.gt_taker[s] = new_taker
                 takers += new_taker
                 monitor.reset()
-            self.stats.child(f"l2_{core}").add("taker_sets_latched", takers)
+            self._slice_stats[core].add("taker_sets_latched", takers)
 
     def _flush_cc_in_set(self, core: int, set_index: int) -> None:
         """Invalidate hosted cooperative blocks in a set flipping to taker."""
@@ -115,7 +115,7 @@ class SnugCache(PrivateL2Base):
         doomed = [line for line in lruset if line.cc]
         for line in doomed:
             lruset.remove(line)
-            self.stats.child(f"l2_{core}").add("cc_flushed")
+            self._slice_stats[core].add("cc_flushed")
 
     # -- demand path -----------------------------------------------------------
 
@@ -124,22 +124,22 @@ class SnugCache(PrivateL2Base):
         return self.stage == STAGE_IDENTIFY or self.snug_cfg.monitor_during_group
 
     def _on_local_hit(self, core: int, block_addr: int, now: int) -> None:
-        if self._monitoring():
-            set_index = self.amap.set_index(block_addr)
-            self.meta[core].monitors[set_index].on_real_hit()
+        if self.stage == STAGE_IDENTIFY or self.snug_cfg.monitor_during_group:
+            self.meta[core].monitors[block_addr & self._set_mask].on_real_hit()
 
     def access(self, core: int, block_addr: int, is_write: bool, now: int) -> AccessResult:
-        self._advance_stage(now)
+        if now >= self._stage_end:
+            self._advance_stage(now)
         local = self._local_paths(core, block_addr, is_write, now)
         if local is not None:
             return local
 
         # Real-set miss: consult the shadow set (exclusivity maintained by
         # invalidating the shadow entry as the block re-enters the real set).
-        set_index = self.amap.set_index(block_addr)
+        set_index = block_addr & self._set_mask
         meta = self.meta[core]
         if meta.shadows[set_index].hit_and_invalidate(block_addr):
-            self.stats.child(f"l2_{core}").add("shadow_hits")
+            self._slice_stats[core].add("shadow_hits")
             if self._monitoring():
                 meta.monitors[set_index].on_shadow_hit()
 
@@ -149,11 +149,11 @@ class SnugCache(PrivateL2Base):
         if found is not None:
             peer, host_index = found
             self.slices[peer].invalidate(block_addr, set_index=host_index)
-            self.stats.child(f"l2_{peer}").add("forwards")
+            self._slice_stats[peer].add("forwards")
             delay = self.bus.transfer(now, self.config.l2.line_bytes)
             fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
             stall = self._refill(core, fill, now)
-            self.stats.child(f"l2_{core}").add("remote_hits")
+            self._slice_stats[core].add("remote_hits")
             return AccessResult(
                 self.config.latency.l2_remote_snug + delay + stall, Outcome.REMOTE_HIT
             )
@@ -161,7 +161,7 @@ class SnugCache(PrivateL2Base):
         latency = self._memory_fetch(block_addr, now)
         fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
         stall = self._refill(core, fill, now)
-        self.stats.child(f"l2_{core}").add("dram_fetches")
+        self._slice_stats[core].add("dram_fetches")
         return AccessResult(latency + stall, Outcome.MEMORY)
 
     def _retrieve(
@@ -173,16 +173,17 @@ class SnugCache(PrivateL2Base):
         ``set_index ^ 1``; only giver sets can host, so only those are
         probed (Section 3.2's "at most one unambiguous search").
         """
-        flipped = self.amap.flipped_index(set_index)
+        flipped = set_index ^ 1
         flip_enabled = self.snug_cfg.flip_enabled
         for peer in self.peers_of(core):
             gt = self.meta[peer].gt_taker
+            peer_sets = self.slices[peer].sets
             if not gt[set_index]:
-                line = self.slices[peer].probe(block_addr, set_index=set_index)
+                line = peer_sets[set_index].probe(block_addr)
                 if line is not None and line.cc:
                     return peer, set_index
             if flip_enabled and not gt[flipped]:
-                line = self.slices[peer].probe(block_addr, set_index=flipped)
+                line = peer_sets[flipped].probe(block_addr)
                 if line is not None and line.cc:
                     return peer, flipped
         return None
@@ -193,14 +194,14 @@ class SnugCache(PrivateL2Base):
         if victim is None:
             return 0
         if victim.cc:
-            self.stats.child(f"l2_{core}").add("cc_evicted")
+            self._slice_stats[core].add("cc_evicted")
             return 0
         if victim.dirty:
             # Dirty victims go straight to the write buffer (Section 3.3);
             # they are *not* shadowed: the shadow tracks only clean victims
             # eligible for cooperative caching.
             return self._dispose_dirty(core, victim, now)
-        set_index = self.amap.set_index(victim.addr)
+        set_index = victim.addr & self._set_mask
         self.meta[core].shadows[set_index].record_eviction(victim.addr)
         if self.stage == STAGE_GROUP and self.meta[core].gt_taker[set_index]:
             self._spill(core, victim, set_index, now)
@@ -238,21 +239,21 @@ class SnugCache(PrivateL2Base):
                 addr=victim.addr, dirty=False, cc=True, f=f_bit, owner=victim.owner
             )
             host_victim = self.slices[peer].fill(hosted, set_index=host_index)
-            self.stats.child(f"l2_{owner}").add("spills_out")
-            self.stats.child(f"l2_{peer}").add("spills_hosted")
+            self._slice_stats[owner].add("spills_out")
+            self._slice_stats[peer].add("spills_hosted")
             if f_bit:
-                self.stats.child(f"l2_{peer}").add("spills_hosted_flipped")
+                self._slice_stats[peer].add("spills_hosted_flipped")
             if host_victim is not None:
                 self._dispose_host_victim(peer, host_victim, host_index, now)
             return
-        self.stats.child(f"l2_{owner}").add("spills_unplaced")
+        self._slice_stats[owner].add("spills_unplaced")
 
     def _dispose_host_victim(
         self, host: int, host_victim: CacheLine, host_index: int, now: int
     ) -> None:
         """Victim displaced by hosting a spill: never cascades another spill."""
         if host_victim.cc:
-            self.stats.child(f"l2_{host}").add("cc_evicted")
+            self._slice_stats[host].add("cc_evicted")
             return
         if host_victim.dirty:
             self._dispose_dirty(host, host_victim, now)

@@ -20,6 +20,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
+from ..common.bitops import is_pow2
 from ..common.errors import TraceError
 from ..mem.address import core_address_base
 
@@ -113,7 +114,27 @@ class Trace:
         )
 
     def set_histogram(self, num_sets: int) -> np.ndarray:
-        """Access counts per set index (diagnostics for generators)."""
+        """Access counts per set index (diagnostics for generators).
+
+        ``num_sets`` must be a positive power of two — the mask below is a
+        modulo only under that condition.
+        """
+        if not is_pow2(num_sets):
+            raise TraceError(
+                f"num_sets must be a positive power of two, got {num_sets}"
+            )
         return np.bincount(
             (self.addrs & (num_sets - 1)).astype(np.int64), minlength=num_sets
         )
+
+    # -- fast-path export --------------------------------------------------
+
+    def as_lists(self) -> Tuple[list, list, list]:
+        """The three columns as plain Python lists (``gaps, addrs, writes``).
+
+        The timing core consumes these instead of the NumPy arrays: per-access
+        ``ndarray`` indexing boxes a NumPy scalar on every record, which
+        dominates the event loop.  One bulk ``tolist()`` per run replaces
+        millions of per-access conversions.
+        """
+        return self.gaps.tolist(), self.addrs.tolist(), self.writes.tolist()

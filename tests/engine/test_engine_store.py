@@ -1,0 +1,139 @@
+"""Unit tests for the engine's task model and JSON result store."""
+
+import json
+
+import pytest
+
+from repro.common.config import tiny_config
+from repro.common.errors import EngineError
+from repro.engine import ParallelRunner, ResultStore, SimTask, expand_mix_tasks
+from repro.experiments.runner import RunPlan
+from repro.workloads.mixes import get_mix
+
+
+class TestSimTask:
+    def test_task_id_plain_scheme(self):
+        task = SimTask("c1_0", "C1", ("ammp",) * 4, "l2p")
+        assert task.task_id == "c1_0__l2p"
+
+    def test_task_id_cc_probability_point(self):
+        task = SimTask("c1_0", "C1", ("ammp",) * 4, "cc", cc_prob=0.25)
+        assert task.task_id == "c1_0__cc__p025"
+
+    def test_mix_reconstruction(self):
+        mix = get_mix("c3_1")
+        task = SimTask(mix.mix_id, mix.mix_class, mix.programs, "dsr")
+        assert task.mix == mix
+
+
+class TestExpandMixTasks:
+    def test_l2p_forced_first(self):
+        tasks = expand_mix_tasks(get_mix("c1_0"), ["snug"], (0.0,))
+        assert [t.scheme for t in tasks] == ["l2p", "snug"]
+
+    def test_cc_best_expands_per_probability(self):
+        tasks = expand_mix_tasks(get_mix("c1_0"), ["l2p", "cc_best"], (0.0, 0.5, 1.0))
+        cc = [t for t in tasks if t.scheme == "cc"]
+        assert [t.cc_prob for t in cc] == [0.0, 0.5, 1.0]
+        assert len(tasks) == 4
+
+    def test_full_scheme_list(self):
+        tasks = expand_mix_tasks(
+            get_mix("c1_0"), ["l2p", "l2s", "cc_best", "dsr", "snug"], (0.0, 0.5, 1.0)
+        )
+        assert len(tasks) == 7
+        assert len({t.task_id for t in tasks}) == 7  # ids unique
+
+
+class TestResultStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize({"k": 1})
+        payload = {"result": {"ipc": [0.1, 0.2]}, "task": {"scheme": "l2p"}}
+        store.save("combo__l2p", payload)
+        assert store.load("combo__l2p") == payload
+        assert store.completed_ids() == {"combo__l2p"}
+
+    def test_reopen_same_manifest_ok(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize({"k": 1})
+        ResultStore(tmp_path / "s").initialize({"k": 1})  # no error
+
+    def test_reopen_different_manifest_rejected(self, tmp_path):
+        ResultStore(tmp_path / "s").initialize({"k": 1})
+        with pytest.raises(EngineError):
+            ResultStore(tmp_path / "s").initialize({"k": 2})
+
+    def test_missing_result_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize({})
+        with pytest.raises(EngineError):
+            store.load("nope")
+
+    def test_corrupt_result_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize({})
+        (store.results_dir / "bad.json").write_text("{not json")
+        with pytest.raises(EngineError):
+            store.load("bad")
+
+    def test_half_written_tmp_not_counted_complete(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize({})
+        (store.results_dir / "task.json.tmp").write_text("{}")
+        assert store.completed_ids() == set()
+
+    def test_store_files_are_sorted_json(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize({"b": 2, "a": 1})
+        text = (store.root / "manifest.json").read_text()
+        assert json.loads(text)["a"] == 1
+        assert text.index('"a"') < text.index('"b"')
+
+
+class TestRunnerValidation:
+    def test_resume_requires_store(self):
+        with pytest.raises(EngineError):
+            ParallelRunner(tiny_config(), RunPlan(), resume=True)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(EngineError):
+            ParallelRunner(tiny_config(), RunPlan(), jobs=-1)
+
+    def test_duplicate_mix_ids_in_one_run_rejected(self):
+        from repro.workloads.mixes import WorkloadMix
+
+        plan = RunPlan(n_accesses=1_000, target_instructions=10_000,
+                       warmup_instructions=0, seed=1, cc_probs=(0.0,))
+        mix_a = WorkloadMix("custom", "custom", ("ammp", "applu", "apsi", "art"))
+        mix_b = WorkloadMix("custom", "custom", ("vpr", "twolf", "swim", "mgrid"))
+        with pytest.raises(EngineError):
+            ParallelRunner(tiny_config(), plan, schemes=["l2p"], jobs=0).run([mix_a, mix_b])
+
+    def test_resume_rejects_different_custom_mix(self, tmp_path):
+        """Two custom mixes share mix_id "custom": resume must not serve one
+        mix's stored results for the other's programs."""
+        from repro.workloads.mixes import WorkloadMix
+
+        store = str(tmp_path / "s")
+        plan = RunPlan(n_accesses=1_000, target_instructions=10_000,
+                       warmup_instructions=0, seed=1, cc_probs=(0.0,))
+        mix_a = WorkloadMix("custom", "custom", ("ammp", "applu", "apsi", "art"))
+        mix_b = WorkloadMix("custom", "custom", ("vpr", "twolf", "swim", "mgrid"))
+        ParallelRunner(tiny_config(), plan, schemes=["l2p"], jobs=0, store=store).run([mix_a])
+        with pytest.raises(EngineError):
+            ParallelRunner(
+                tiny_config(), plan, schemes=["l2p"], jobs=0, store=store, resume=True
+            ).run([mix_b])
+
+    def test_mismatched_plan_rejected_on_reuse(self, tmp_path):
+        """A store created under one plan refuses tasks from another."""
+        store = str(tmp_path / "s")
+        mix = get_mix("c1_0")
+        plan_a = RunPlan(n_accesses=1_000, target_instructions=10_000,
+                         warmup_instructions=0, seed=1, cc_probs=(0.0,))
+        plan_b = RunPlan(n_accesses=1_000, target_instructions=10_000,
+                         warmup_instructions=0, seed=2, cc_probs=(0.0,))
+        ParallelRunner(tiny_config(), plan_a, schemes=["l2p"], jobs=0, store=store).run([mix])
+        with pytest.raises(EngineError):
+            ParallelRunner(tiny_config(), plan_b, schemes=["l2p"], jobs=0, store=store).run([mix])

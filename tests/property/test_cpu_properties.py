@@ -1,0 +1,183 @@
+"""Property tests for TraceCore warmup/wrap edge cases and the fast path.
+
+The fast path (pre-extracted trace columns in :class:`TraceCore`, the
+inlined event loop in :class:`CmpSystem`) must be *bit-identical* to the
+seed implementation preserved in :mod:`repro.core.reference`; these
+properties drive both over random traces and random stepping schedules and
+compare every observable.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import tiny_config
+from repro.core.cmp import CmpSystem
+from repro.core.cpu import TraceCore
+from repro.core.reference import ReferenceCmpSystem, ReferenceTraceCore
+from repro.schemes.factory import make_scheme
+from repro.workloads.trace import Trace
+
+# Small random traces: gaps >= 1, modest addresses, arbitrary write flags.
+trace_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=40),       # gap
+        st.integers(min_value=0, max_value=255),      # block address
+        st.booleans(),                                # write flag
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def mk_trace(rows) -> Trace:
+    gaps, addrs, writes = zip(*rows)
+    return Trace(np.array(gaps), np.array(addrs), np.array(writes, dtype=bool))
+
+
+def drive(core, steps: int, latency: int):
+    """Step a core through *steps* accesses at a fixed L2 latency."""
+    for _ in range(steps):
+        issue, addr, write = core.next_access()
+        core.complete(issue, latency)
+
+
+class TestWrapAround:
+    @given(trace_rows, st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_pos_and_wraps_track_consumed_records(self, rows, steps, latency):
+        trace = mk_trace(rows)
+        core = TraceCore(0, trace)
+        drive(core, steps, latency)
+        assert core.pos == steps % len(trace)
+        assert core.wraps == steps // len(trace)
+        assert core.accesses == steps
+
+    @given(trace_rows, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_wrapped_replay_repeats_records(self, rows, rounds):
+        trace = mk_trace(rows)
+        core = TraceCore(0, trace)
+        n = len(trace)
+        first, later = [], []
+        for i in range(n * rounds):
+            issue, addr, write = core.next_access()
+            (first if i < n else later).append((addr, write))
+            core.complete(issue, 0)
+        assert later == first * (rounds - 1)
+
+    @given(trace_rows, st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_instructions_sum_consumed_gaps(self, rows, steps, latency):
+        trace = mk_trace(rows)
+        core = TraceCore(0, trace)
+        drive(core, steps, latency)
+        gaps = list(trace.gaps)
+        expected = sum(int(gaps[i % len(gaps)]) for i in range(steps))
+        assert core.instructions == expected
+
+
+class TestWarmupWindow:
+    @given(trace_rows, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_no_warmup_window_starts_at_zero(self, rows, target):
+        """warmup == 0: the IPC window opens at t=0, before any access."""
+        core = TraceCore(0, mk_trace(rows))
+        core.target_instructions = target
+        core.warmup_instructions = 0
+        issue, _, _ = core.next_access()
+        core.complete(issue, 5)
+        assert core.warmup_end_time == 0
+        if core.done:
+            assert core.ipc() == target / max(core.finish_time, 1)
+
+    @given(trace_rows, st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_warmup_excluded_from_window(self, rows, warmup, target):
+        """warmup > 0: the window spans [warmup_end_time, finish_time]."""
+        core = TraceCore(0, mk_trace(rows))
+        core.target_instructions = target
+        core.warmup_instructions = warmup
+        for _ in range(1000):
+            if core.done:
+                break
+            issue, _, _ = core.next_access()
+            core.complete(issue, 3)
+        assert core.done, "bounded trace must eventually cross the target"
+        assert core.warmup_end_time is not None
+        assert 0 < core.warmup_end_time <= core.finish_time
+        window = core.finish_time - core.warmup_end_time
+        assert core.ipc() == target / max(window, 1)
+
+    def test_warmup_and_target_cross_on_same_access(self):
+        """One big access can cross warmup *and* target: both latch at its
+        completion time, giving the minimal window of max(window, 1)."""
+        trace = Trace(np.array([100]), np.array([0]), np.array([False]))
+        core = TraceCore(0, trace)
+        core.target_instructions = 10
+        core.warmup_instructions = 10
+        issue, _, _ = core.next_access()  # 100 instructions >= 10 + 10
+        core.complete(issue, 7)
+        assert core.warmed_up and core.done
+        assert core.warmup_end_time == core.finish_time == core.time
+        assert core.ipc() == 10 / 1  # zero-width window clamps to 1 cycle
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_single_access_crossing_property(self, warmup, target):
+        gap = warmup + target  # always crosses both on the first access
+        trace = Trace(np.array([gap, gap]), np.array([0, 1]), np.array([False, False]))
+        core = TraceCore(0, trace)
+        core.target_instructions = target
+        core.warmup_instructions = warmup
+        issue, _, _ = core.next_access()
+        core.complete(issue, 2)
+        assert core.warmup_end_time == core.finish_time == core.time
+
+
+class TestFastPathEquivalence:
+    @given(trace_rows, st.integers(min_value=0, max_value=120),
+           st.integers(min_value=0, max_value=60),
+           st.floats(min_value=0.25, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_tracecore_matches_reference(self, rows, steps, latency, cpi):
+        trace = mk_trace(rows)
+        fast = TraceCore(0, trace, base_cpi=cpi, l1_latency=1)
+        ref = ReferenceTraceCore(0, trace, base_cpi=cpi, l1_latency=1)
+        for core in (fast, ref):
+            core.target_instructions = 50
+            core.warmup_instructions = 25
+        for _ in range(steps):
+            assert fast.peek_issue_time() == ref.peek_issue_time()
+            a, b = fast.next_access(), ref.next_access()
+            assert a == b
+            fast.complete(a[0], latency)
+            ref.complete(b[0], latency)
+        for attr in ("time", "instructions", "pos", "wraps", "accesses",
+                     "warmup_end_time", "finish_time"):
+            assert getattr(fast, attr) == getattr(ref, attr), attr
+        assert fast.ipc() == ref.ipc()
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=15, deadline=None)
+    def test_cmp_system_matches_reference(self, seed, warmup):
+        """Full co-scheduled runs produce bit-identical SimResults."""
+        config = tiny_config(seed=3)
+        rng = np.random.default_rng(seed)
+        traces = [
+            Trace(
+                rng.integers(1, 30, 60),
+                rng.integers(0, 128, 60),
+                rng.random(60) < 0.3,
+            ).rebase(i)
+            for i in range(config.num_cores)
+        ]
+        fast = CmpSystem(config, make_scheme("l2p", config), traces)
+        ref = ReferenceCmpSystem(config, make_scheme("l2p", config), traces)
+        a = fast.run(4_000, warmup_instructions=warmup)
+        b = ref.run(4_000, warmup_instructions=warmup)
+        assert a == b

@@ -53,6 +53,27 @@ class TestDerived:
         h = t.set_histogram(4)
         assert h[0] == 3
 
+    @pytest.mark.parametrize("bad", [0, -4, 3, 6, 12])
+    def test_set_histogram_rejects_non_pow2(self, bad):
+        # The index mask `addrs & (num_sets - 1)` is a modulo only for
+        # positive powers of two; anything else silently mis-bins.
+        with pytest.raises(TraceError):
+            mk().set_histogram(bad)
+
+    def test_set_histogram_pow2_counts_sum_to_len(self):
+        t = mk(addrs=(1, 5, 7))
+        for num_sets in (1, 2, 4, 16):
+            h = t.set_histogram(num_sets)
+            assert h.sum() == len(t)
+            assert len(h) == num_sets
+
+    def test_as_lists_plain_python_scalars(self):
+        gaps, addrs, writes = mk().as_lists()
+        assert gaps == [1, 2, 3] and addrs == [10, 20, 10] and writes == [False, True, False]
+        assert all(type(g) is int for g in gaps)
+        assert all(type(a) is int for a in addrs)
+        assert all(type(w) is bool for w in writes)
+
 
 class TestTransforms:
     def test_rebase_offsets_addresses(self):
