@@ -52,12 +52,13 @@ def _best_of(fn, repeats: int = 3) -> float:
 
 
 @pytest.mark.benchmark(group="sim-speed")
-def test_fast_path_speedup(scale):
+def test_fast_path_speedup(scale, bench_json, relax_timing):
     """Fast path vs the preserved seed hot path, across all five schemes.
 
     Results are bit-identical (the property/engine suites assert that); this
     bench asserts the *speed* contract: >= 1.5x on a single run of the
-    baseline scheme, with every scheme clearly faster.
+    baseline scheme, with every scheme clearly faster.  Measurements are
+    persisted to ``BENCH_sim_speed.json``.
     """
     cfg = scale.config
     traces = build_mix_traces(get_mix("c4_0"), cfg.l2.num_sets,
@@ -65,15 +66,20 @@ def test_fast_path_speedup(scale):
     target = min(scale.plan.target_instructions, 120_000)
 
     speedups = {}
+    timings = {}
     print()
     for name in scheme_names():
         fast = _best_of(lambda: CmpSystem(cfg, make_scheme(name, cfg), traces).run(target))
         seed = _best_of(lambda: reference_system(cfg, name, traces).run(target))
         speedups[name] = seed / fast
+        timings[name] = {"seed_s": seed, "fast_s": fast, "speedup": seed / fast}
         print(f"{name}: seed={seed:.3f}s fast={fast:.3f}s speedup={seed / fast:.2f}x")
     geomean = math.exp(sum(math.log(s) for s in speedups.values()) / len(speedups))
     print(f"geomean speedup: {geomean:.2f}x")
+    bench_json("sim_speed", {"schemes": timings, "geomean_speedup": geomean})
 
+    if relax_timing:
+        pytest.skip("REPRO_BENCH_RELAX set: speedups recorded, assertions skipped")
     assert speedups["l2p"] >= 1.5, f"l2p single-run speedup {speedups['l2p']:.2f}x < 1.5x"
     assert geomean >= 1.35, f"geomean speedup {geomean:.2f}x regressed"
     assert all(s > 1.1 for s in speedups.values()), speedups

@@ -23,6 +23,7 @@ from typing import List
 import numpy as np
 
 from ..cache.stackdist import StackDistanceProfiler
+from ..cache.stackdist_fast import profile_stream
 from ..common.bitops import is_pow2
 from ..common.errors import ConfigError
 from ..workloads.trace import Trace
@@ -130,6 +131,7 @@ def characterize_trace(
     m: int = 8,
     interval_accesses: int = 2000,
     max_intervals: int | None = None,
+    kernel: str = "fast",
 ) -> DemandDistribution:
     """Run the Section 2.2 characterization over *trace*.
 
@@ -147,11 +149,19 @@ def characterize_trace(
         Sampling interval length in L2 accesses (100 K in the paper).
     max_intervals:
         Optional cap on the number of intervals processed.
+    kernel:
+        ``"fast"`` (default) profiles through the vectorized
+        :func:`~repro.cache.stackdist_fast.profile_stream`; ``"reference"``
+        drives the per-access Mattson stacks of
+        :mod:`repro.cache.stackdist`.  Both produce bit-identical results
+        (asserted by the property and benchmark suites) — the reference
+        path is the executable spec, kept for cross-checking.
     """
     bucket_bounds(a_threshold, m)  # validates the pair
     if interval_accesses < 1:
         raise ConfigError("interval_accesses must be positive")
-    profiler = StackDistanceProfiler(num_sets, a_threshold)
+    if kernel not in ("fast", "reference"):
+        raise ConfigError(f"unknown profiling kernel {kernel!r}")
     addrs = trace.addrs
     n_intervals = len(addrs) // interval_accesses
     if max_intervals is not None:
@@ -159,16 +169,26 @@ def characterize_trace(
     if n_intervals < 1:
         raise ConfigError("trace too short for even one sampling interval")
 
-    demand = np.empty((n_intervals, num_sets), dtype=np.int64)
+    if kernel == "fast":
+        profile = profile_stream(
+            addrs, num_sets, a_threshold, interval_accesses, max_intervals=n_intervals
+        )
+        demand = profile.block_required()
+    else:
+        profiler = StackDistanceProfiler(num_sets, a_threshold)
+        demand = np.empty((n_intervals, num_sets), dtype=np.int64)
+        for i in range(n_intervals):
+            chunk = addrs[i * interval_accesses : (i + 1) * interval_accesses]
+            profiler.reference_many(chunk)
+            demand[i] = profiler.end_interval()
+
     width = a_threshold // m
-    sizes = np.empty((n_intervals, m), dtype=float)
-    for i in range(n_intervals):
-        chunk = addrs[i * interval_accesses : (i + 1) * interval_accesses]
-        profiler.reference_many(chunk)
-        required = profiler.end_interval()
-        demand[i] = required
-        buckets = (np.minimum(required, a_threshold) - 1) // width
-        sizes[i] = np.bincount(buckets, minlength=m) / num_sets
+    buckets = (np.minimum(demand, a_threshold) - 1) // width
+    flat = np.bincount(
+        (np.arange(n_intervals, dtype=np.int64)[:, None] * m + buckets).ravel(),
+        minlength=n_intervals * m,
+    )
+    sizes = flat.reshape(n_intervals, m) / num_sets
     return DemandDistribution(
         name=trace.name,
         a_threshold=a_threshold,

@@ -6,6 +6,7 @@ from .lruset import LruSet
 from .satcounter import DemandMonitorCounter, SaturatingCounter
 from .shadowset import ShadowSet
 from .stackdist import StackDistanceProfiler, StackDistanceSet
+from .stackdist_fast import DemandProfile, profile_stream, stack_distances
 
 __all__ = [
     "CacheLine",
@@ -16,4 +17,7 @@ __all__ = [
     "ShadowSet",
     "StackDistanceProfiler",
     "StackDistanceSet",
+    "DemandProfile",
+    "profile_stream",
+    "stack_distances",
 ]

@@ -11,6 +11,13 @@ associativity ``A <= A_threshold`` simultaneously,
 ``hit_count(S, I, A) == hit_count(S, I, A_threshold)`` — i.e. the deepest
 LRU position that produced a hit during the interval (or 1 if the interval
 had no hits at all, since one block is the minimum a set can own).
+
+This module is the *executable spec* of the profiling pipeline: a literal
+per-access stack walk, kept deliberately simple.  Production callers go
+through :mod:`repro.cache.stackdist_fast`, which computes bit-identical
+per-interval histograms for a whole stream in vectorized NumPy passes (the
+same spec/fast-path split as :mod:`repro.core.reference` vs
+:mod:`repro.core.cmp`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,288 @@
+"""Vectorized single-pass LRU stack-distance profiling (the fast path).
+
+:mod:`repro.cache.stackdist` is the executable spec: a per-access Mattson
+LRU stack per set, one ``list.index`` scan per reference.  This module
+computes the *same* per-interval, per-set hit-position histograms for a
+whole reference stream in a handful of NumPy passes, which is what makes
+the Section 2 characterization (Figures 1-3 and the 26-program survey)
+cheap enough to run at paper scale.
+
+Formulation (Bennett & Kruskal, 1975)
+-------------------------------------
+The LRU stack position of a reference equals the number of *distinct*
+addresses touched since the previous reference to the same address, plus
+one; the depth bound of :class:`~repro.cache.stackdist.StackDistanceSet`
+only caps the result (the bounded stack holds exactly the top ``depth``
+entries of the unbounded stack, by the LRU inclusion property).  Writing
+``q[t]`` for the position of the previous occurrence of the address
+referenced at position ``t`` (``-1`` if none), each distinct address in the
+open window ``(q[t], t)`` is represented by its *window-first* reference —
+a ``k`` with ``q[t] < k < t`` and ``q[k] <= q[t]`` — so
+
+    ``distance[t] = 1 + #{k : q[t] < k < t, q[k] <= q[t]}``,
+
+a static dominance count over the previous-occurrence array needing no
+time-varying stack at all.  Bennett-Kruskal realize the count with a
+Fenwick tree; here it is split by window length:
+
+* **Short windows** (``t - q[t] <= _SHORT_WINDOW``, the overwhelming
+  majority under temporal locality): the window is swept directly with one
+  vectorized backward-shifted comparison per offset.  Sorting the queries
+  by descending window length makes every offset operate on a contiguous
+  prefix, so the total work is ``sum(window lengths)`` elementwise ops.
+* **Long windows**: the equivalent prefix form ``distance[t] =
+  cold_misses_before(t) + #{k < t in the re-reference subsequence :
+  q[k] <= q[t]} - q[t]`` is evaluated by :func:`count_leq_before`'s
+  machinery — a bottom-up merge count whose per-level ``searchsorted`` is
+  restricted to the (few) long queries, with only the touched left halves
+  sorted.
+
+Per-set partitioning costs nothing extra: grouping the stream by set
+(stably, preserving time order) makes every set a contiguous segment, and
+references from *earlier* segments contribute exactly ``segment_start(t)``
+to both sides of the count, so the global arithmetic yields the within-set
+distance verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.bitops import is_pow2
+
+__all__ = [
+    "count_leq_before",
+    "stack_distances",
+    "DemandProfile",
+    "profile_stream",
+]
+
+#: Base block width of the merge count: pairs closer than this are counted
+#: by backward-shifted comparisons instead of merge levels.  Power of two.
+_BASE_WIDTH = 64
+
+#: Windows up to this length take the direct swept path in
+#: :func:`stack_distances`; longer ones fall back to the merge count.
+_SHORT_WINDOW = 128
+
+
+def _swept_count(values: np.ndarray, queries: np.ndarray, reach: np.ndarray) -> np.ndarray:
+    """``out[i] = #{1 <= o < reach[i] : values[queries[i] - o] <= values[queries[i]]}``.
+
+    One vectorized backward-shifted comparison per offset ``o``; queries are
+    sorted by descending reach so each offset touches only the contiguous
+    prefix still in range, making the total work ``sum(reach)`` element ops.
+    """
+    order = np.argsort(-reach)
+    tq = queries[order]
+    qv = values[tq]
+    # alive[j] = number of queries with reach >= j (suffix counts).
+    per_reach = np.bincount(reach, minlength=int(reach.max()) + 2)
+    alive = np.cumsum(per_reach[::-1])[::-1]
+    acc = np.zeros(queries.size, dtype=np.int64)
+    for o in range(1, alive.size - 1):
+        k = alive[o + 1]  # queries with reach > o
+        if k == 0:
+            break
+        acc[:k] += values[tq[:k] - o] <= qv[:k]
+    out = np.empty_like(acc)
+    out[order] = acc
+    return out
+
+
+def _count_before(values: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """``out[i] = #{k < q_i : values[k] <= values[q_i]}`` for ``q_i = queries[i]``.
+
+    *queries* must be sorted ascending.  Bottom-up merge counting: at each
+    doubling level every query in a "right" half counts the elements of its
+    sibling "left" half that are ``<=`` itself; over all levels plus the
+    in-base-block sweep, each ordered pair is inspected exactly once.  Only
+    the left halves actually referenced by a query are sorted, and all of a
+    level's lookups share a single :func:`np.searchsorted` call — block
+    ``b``'s values are shifted by ``b * span`` so the concatenated sorted
+    left halves stay globally sorted.
+    """
+    v = np.ascontiguousarray(values, dtype=np.int64)
+    n = v.size
+    queries = np.ascontiguousarray(queries, dtype=np.int64)
+    out = np.zeros(queries.size, dtype=np.int64)
+    if n < 2 or queries.size == 0:
+        return out
+    v = v - int(v.min())
+    sentinel = int(v.max()) + 1  # pads sort after every real value
+    span = sentinel + 1
+    size = _BASE_WIDTH << max(0, (n - 1).bit_length() - _BASE_WIDTH.bit_length() + 1)
+    padded = np.full(size, sentinel, dtype=np.int64)
+    padded[:n] = v
+
+    # Pairs inside one base block: sweep backwards from each query to the
+    # start of its block.
+    local = queries & (_BASE_WIDTH - 1)
+    out += _swept_count(padded, queries, local + 1)
+
+    # Cross-block pairs, one doubling level at a time.
+    qvals = padded[queries]
+    width = _BASE_WIDTH
+    while width < size:
+        in_right = np.flatnonzero((queries // width) & 1)
+        if in_right.size:
+            block = queries[in_right] // (2 * width)
+            # *queries* ascending => block ids nondecreasing: compact them
+            # without a sort.
+            first = np.empty(block.size, dtype=bool)
+            first[0] = True
+            np.not_equal(block[1:], block[:-1], out=first[1:])
+            uniq = block[first]
+            dense = np.cumsum(first) - 1
+            left = np.sort(padded.reshape(-1, 2 * width)[uniq, :width], axis=1)
+            offsets = np.arange(uniq.size, dtype=np.int64) * span
+            found = np.searchsorted(
+                (left + offsets[:, None]).ravel(),
+                qvals[in_right] + offsets[dense],
+                side="right",
+            )
+            out[in_right] += found - dense * width
+        width *= 2
+    return out
+
+
+def count_leq_before(values: np.ndarray) -> np.ndarray:
+    """For each position ``t``: ``#{k < t : values[k] <= values[t]}``."""
+    return _count_before(values, np.arange(np.asarray(values).size, dtype=np.int64))
+
+
+def stack_distances(addrs: np.ndarray, num_sets: int) -> np.ndarray:
+    """Per-reference 1-based LRU stack position within each address's set.
+
+    Returns, aligned with *addrs*, the unbounded Mattson stack distance of
+    every reference (``0`` for cold misses).  Callers impose the depth bound
+    by treating ``distance > depth`` as a miss — by the LRU inclusion
+    property that reproduces a ``depth``-bounded stack exactly.
+    """
+    addrs = np.ascontiguousarray(addrs, dtype=np.int64)
+    if not is_pow2(num_sets):
+        raise ValueError(f"num_sets must be a positive power of two, got {num_sets}")
+    n = addrs.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Stable group-by-set: each set becomes one contiguous, time-ordered
+    # segment, which is what lets one global dominance count serve all sets.
+    # Narrow set indices take NumPy's radix path instead of a mergesort.
+    sets = addrs & (num_sets - 1)
+    if num_sets <= 1 << 16:
+        sets = sets.astype(np.uint16)
+    order = np.argsort(sets, kind="stable")
+    grouped = addrs[order]
+    # Previous occurrence of each address, in grouped coordinates.  An
+    # address always maps to one set, so "previous occurrence" is
+    # automatically within the same segment.  When it fits, an (addr, time)
+    # composite key makes every key distinct, so the cheaper unstable sort
+    # is stable in effect.
+    if int(grouped.min()) >= 0 and int(grouped.max()) <= (1 << 62) // n:
+        by_addr = np.argsort(grouped * n + np.arange(n, dtype=np.int64))
+    else:
+        by_addr = np.argsort(grouped, kind="stable")
+    sorted_addrs = grouped[by_addr]
+    q = np.full(n, -1, dtype=np.int64)
+    repeat = sorted_addrs[1:] == sorted_addrs[:-1]
+    q[by_addr[1:][repeat]] = by_addr[:-1][repeat]
+
+    grouped_dist = np.zeros(n, dtype=np.int64)
+    sub = np.flatnonzero(q >= 0)
+    if sub.size:
+        wlen = sub - q[sub]
+        short = wlen <= _SHORT_WINDOW
+        t_short = sub[short]
+        if t_short.size:
+            # Window form: 1 + the number of window-first references in
+            # (q[t], t) — cold misses in the window included, since
+            # q[k] == -1 <= q[t] always holds.
+            grouped_dist[t_short] = 1 + _swept_count(q, t_short, wlen[short])
+        t_long = sub[~short]
+        if t_long.size:
+            # Prefix form: every k <= q[t] trivially satisfies
+            # q[k] < k <= q[t], so the window count collapses to
+            # W[t] - q[t] with W[t] = #{k < t : q[k] <= q[t]}; cold misses
+            # (q == -1) contribute a running count and the rest is a
+            # dominance count over the re-reference subsequence alone.
+            cold_before = np.cumsum(q < 0)
+            w2 = _count_before(q[sub], np.flatnonzero(~short))
+            grouped_dist[t_long] = cold_before[t_long] + w2 - q[t_long]
+    dist = np.empty(n, dtype=np.int64)
+    dist[order] = grouped_dist
+    return dist
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """Per-interval, per-set hit-position histograms of one stream.
+
+    ``hist[i, s, p]`` counts interval *i*'s hits of set *s* at LRU position
+    ``p + 1`` — the same tallies :class:`~repro.cache.stackdist`'s
+    ``StackDistanceSet.hist`` accumulates, for every interval at once.
+    """
+
+    hist: np.ndarray  # (intervals, num_sets, depth) int64
+
+    @property
+    def intervals(self) -> int:
+        return self.hist.shape[0]
+
+    @property
+    def num_sets(self) -> int:
+        return self.hist.shape[1]
+
+    @property
+    def depth(self) -> int:
+        return self.hist.shape[2]
+
+    def block_required(self) -> np.ndarray:
+        """Formula 3 per (interval, set): deepest hit position, min 1."""
+        hits = self.hist > 0
+        any_hit = hits.any(axis=2)
+        deepest = self.depth - 1 - hits[:, :, ::-1].argmax(axis=2)
+        return np.where(any_hit, deepest + 1, 1).astype(np.int64)
+
+    def hit_counts(self, assoc: int) -> np.ndarray:
+        """``hit_count(S, I, assoc)`` per (interval, set)."""
+        return self.hist[:, :, : min(assoc, self.depth)].sum(axis=2)
+
+
+def profile_stream(
+    addrs: np.ndarray,
+    num_sets: int,
+    depth: int,
+    interval_accesses: int,
+    max_intervals: int | None = None,
+) -> DemandProfile:
+    """Profile a block-address stream in one vectorized pass.
+
+    Equivalent to feeding *addrs* through a
+    :class:`~repro.cache.stackdist.StackDistanceProfiler` of the same shape
+    and snapshotting every set's histogram each ``interval_accesses``
+    references (the spec never profiles a trailing partial interval, and
+    neither does this).  Bit-identical by construction; asserted by the
+    property and benchmark suites.
+    """
+    if depth < 1:
+        raise ValueError("stack depth must be >= 1")
+    if interval_accesses < 1:
+        raise ValueError("interval_accesses must be positive")
+    addrs = np.ascontiguousarray(addrs, dtype=np.int64)
+    n_intervals = addrs.size // interval_accesses
+    if max_intervals is not None:
+        n_intervals = min(n_intervals, max_intervals)
+    used = n_intervals * interval_accesses
+    addrs = addrs[:used]
+
+    dist = stack_distances(addrs, num_sets)
+    hit = (dist >= 1) & (dist <= depth)
+    sets = (addrs & (num_sets - 1))[hit]
+    intervals = np.arange(used, dtype=np.int64)[hit] // interval_accesses
+    keys = (intervals * num_sets + sets) * depth + (dist[hit] - 1)
+    hist = np.bincount(keys, minlength=n_intervals * num_sets * depth)
+    return DemandProfile(
+        hist=hist.astype(np.int64).reshape(n_intervals, num_sets, depth)
+    )

@@ -1,10 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the library's main entry points:
+Five subcommands cover the library's main entry points:
 
 ``characterize``
     Section 2 pipeline: per-set demand distribution of one benchmark
-    (Figures 1–3 as text).
+    (Figures 1–3 as text), profiled through the vectorized stack-distance
+    kernel.
+
+``survey``
+    The Section 2.3 survey: characterize all 26 SPEC2000 models and flag
+    set-level non-uniformity.  ``--jobs N`` fans the programs across worker
+    processes with output identical to the serial run.
 
 ``run``
     Simulate one Table 8 mix (or four explicit programs) under one or more
@@ -35,7 +41,13 @@ from .analysis.overhead import SnugOverheadModel
 from .analysis.report import format_pct, render_combo_metrics, render_table
 from .common.config import SCALE_NAMES, scaled_config
 from .engine import DEFAULT_SCHEMES, ParallelRunner
-from .experiments.characterization import figure_distribution, render_figure as render_char
+from .experiments.characterization import (
+    figure_distribution,
+    non_uniform_names,
+    render_figure as render_char,
+    render_survey,
+    survey_26,
+)
 from .experiments.performance import FigureData, evaluate_all, render_figure, select_mixes
 from .experiments.runner import ComboResult, RunPlan, run_combo
 from .schemes.factory import SCHEMES
@@ -92,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--intervals", type=int, default=30)
     p_char.add_argument("--interval-accesses", type=int, default=2_000)
 
+    p_survey = sub.add_parser("survey", help="Section 2.3 non-uniformity survey (26 programs)")
+    p_survey.add_argument("--intervals", type=int, default=12)
+    p_survey.add_argument("--interval-accesses", type=int, default=1_500)
+    p_survey.add_argument("--threshold", type=float, default=0.08)
+    p_survey.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="characterize programs across N worker processes (0 = in-process)",
+    )
+
     p_run = sub.add_parser("run", help="simulate one workload mix", parents=[engine_flags])
     group = p_run.add_mutually_exclusive_group(required=True)
     group.add_argument("--mix", choices=[m.mix_id for m in MIXES])
@@ -128,6 +149,22 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         f"taker share {dist.taker_fraction():.1%}, "
         f"score {dist.nonuniformity_score():.3f} -> {verdict}"
     )
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    config = scaled_config(args.scale, seed=args.seed)
+    rows = survey_26(
+        num_sets=config.l2.num_sets,
+        intervals=args.intervals,
+        interval_accesses=args.interval_accesses,
+        seed=args.seed,
+        threshold=args.threshold,
+        jobs=args.jobs,
+    )
+    print(render_survey(rows))
+    flagged = non_uniform_names(rows)
+    print(f"\n{len(flagged)} of {len(rows)} programs non-uniform: {', '.join(flagged)}")
     return 0
 
 
@@ -215,6 +252,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "characterize": _cmd_characterize,
+    "survey": _cmd_survey,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "overhead": _cmd_overhead,
@@ -232,6 +270,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--resume requires --store DIR")
         if args.jobs is not None and args.jobs < 0:
             parser.error("--jobs must be >= 0 (0 = in-process task loop)")
+    if args.command == "survey" and args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = in-process survey)")
     return _COMMANDS[args.command](args)
 
 

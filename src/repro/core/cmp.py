@@ -168,7 +168,9 @@ class CmpSystem:
         budget = max_events if max_events is not None else 0
         if budget <= 0:
             # Worst case CPI ~ DRAM latency per access; bound generously.
-            mean_gap = max(1.0, float(min(t.gaps.mean() for t in (c.trace for c in cores))))
+            # Trace.mean_gap is cached on the trace, so repeated runs over
+            # the same traces skip the NumPy reduction.
+            mean_gap = max(1.0, float(min(c.trace.mean_gap for c in cores)))
             total = target_instructions + warmup_instructions
             budget = int(len(cores) * total / mean_gap * 50) + 10_000
 

@@ -30,6 +30,24 @@ worker executes it, in which order, or whether it runs in-process
 (``jobs=0``), in a single worker, or in eight — the determinism test suite
 asserts byte equality across 1/2/4 workers against the serial path.
 
+Trace memoization and chunking
+------------------------------
+Workers memoize generated mix traces per process, keyed by
+``(mix_id, programs, num_sets, n_accesses, seed)`` — everything trace
+generation depends on — so a mix's 5+ scheme/CC-probability tasks stop
+regenerating identical traces.  Pool submission is chunked per mix (one
+round-trip per mix instead of per task) both to amortize IPC and to
+guarantee the memo hits; with fewer mixes than workers the runner falls
+back to single-task chunks so no worker idles.  Both are pure
+optimizations: generation is deterministic in the key and traces are
+immutable, so results stay bit-identical (the determinism suite runs the
+chunked, memoized path).
+
+Beyond the simulation grid, :func:`~repro.engine.pool.parallel_map` packages
+the same fan-out/merge-in-request-order discipline for any picklable work
+list — the Section 2 characterization survey runs its 26 programs through
+it.
+
 Result store layout
 -------------------
 Passing ``store`` to :class:`~repro.engine.runner.ParallelRunner` persists
@@ -73,7 +91,8 @@ remote workers and write the same store layout.
 
 from __future__ import annotations
 
-from .runner import DEFAULT_SCHEMES, ParallelRunner, execute_task
+from .pool import parallel_map
+from .runner import DEFAULT_SCHEMES, ParallelRunner, execute_task, execute_task_chunk
 from .store import ResultStore
 from .tasks import SimTask, expand_mix_tasks
 
@@ -83,5 +102,7 @@ __all__ = [
     "SimTask",
     "expand_mix_tasks",
     "execute_task",
+    "execute_task_chunk",
+    "parallel_map",
     "DEFAULT_SCHEMES",
 ]

@@ -1,0 +1,41 @@
+"""Order-preserving process-pool fan-out for independent work items.
+
+:class:`~repro.engine.runner.ParallelRunner` owns the simulation grid; this
+helper is the same execution discipline — results collected in *request*
+order so no outcome can depend on scheduling — packaged for any picklable
+``fn(*args)`` work list.  The Section 2 characterization
+(:func:`repro.experiments.characterization.survey_26`) fans its 26 programs
+through it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from ..common.errors import EngineError
+
+__all__ = ["parallel_map"]
+
+T = TypeVar("T")
+
+
+def parallel_map(
+    fn: Callable[..., T],
+    arg_tuples: Sequence[Tuple],
+    jobs: int = 0,
+) -> List[T]:
+    """Apply *fn* to every argument tuple; return results in request order.
+
+    ``jobs=0`` runs everything in-process (no pool); ``jobs >= 1`` fans the
+    calls across worker processes.  *fn* must be a module-level callable and
+    the arguments picklable.  Because results are gathered in request order,
+    the output is independent of worker count and completion order.
+    """
+    if jobs < 0:
+        raise EngineError("jobs must be >= 0 (0 = run calls in-process)")
+    if jobs == 0:
+        return [fn(*args) for args in arg_tuples]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(fn, *args) for args in arg_tuples]
+        return [f.result() for f in futures]

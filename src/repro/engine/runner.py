@@ -31,19 +31,42 @@ from ..workloads.mixes import WorkloadMix, build_mix_traces
 from .store import ResultStore
 from .tasks import SimTask, expand_mix_tasks
 
-__all__ = ["ParallelRunner", "execute_task", "DEFAULT_SCHEMES"]
+__all__ = ["ParallelRunner", "execute_task", "execute_task_chunk", "DEFAULT_SCHEMES"]
+
+#: Per-process memo of generated mix traces, keyed by everything that feeds
+#: :func:`~repro.workloads.mixes.build_mix_traces` (the program tuple is in
+#: the key so two *custom* mixes sharing an id can never alias).  A mix's
+#: 5+ scheme/CC-probability tasks land on the same worker via per-mix task
+#: chunks, so each worker generates a mix's traces once instead of per task.
+#: Traces are immutable value objects and the timing core never mutates its
+#: input arrays, so sharing is safe.
+_trace_memo: Dict[tuple, List] = {}
+
+#: Memo capacity; evicted FIFO.  Sized for a handful of in-flight mixes per
+#: worker — a worker only ever needs the mix it is currently simulating.
+_TRACE_MEMO_MAX = 4
+
+
+def _mix_traces(mix: WorkloadMix, num_sets: int, n_accesses: int, seed: int) -> List:
+    key = (mix.mix_id, mix.programs, num_sets, n_accesses, seed)
+    traces = _trace_memo.get(key)
+    if traces is None:
+        traces = build_mix_traces(mix, num_sets, n_accesses, seed)
+        while len(_trace_memo) >= _TRACE_MEMO_MAX:
+            _trace_memo.pop(next(iter(_trace_memo)))
+        _trace_memo[key] = traces
+    return traces
 
 
 def execute_task(config: SystemConfig, plan: RunPlan, task: SimTask) -> SimResult:
-    """Run one task from scratch: rebuild traces, simulate, return the result.
+    """Run one task: obtain the mix's traces (memoized per process), simulate.
 
-    Traces are regenerated per task rather than shared between a mix's tasks:
-    generation is a small fraction of simulation cost and value-passing keeps
-    tasks embarrassingly parallel.  Module-level so the process pool can
-    pickle it.
+    Module-level so the process pool can pickle it.  Trace generation is
+    deterministic in the memo key, so a memo hit returns value-identical
+    traces and the produced :class:`SimResult` is bit-identical either way
+    (asserted by the engine determinism suite).
     """
-    mix = task.mix
-    traces = build_mix_traces(mix, config.l2.num_sets, plan.n_accesses, plan.seed)
+    traces = _mix_traces(task.mix, config.l2.num_sets, plan.n_accesses, plan.seed)
     kwargs = {}
     if task.cc_prob is not None:
         kwargs["spill_probability"] = task.cc_prob
@@ -55,6 +78,27 @@ def execute_task(config: SystemConfig, plan: RunPlan, task: SimTask) -> SimResul
         plan.warmup_instructions,
         **kwargs,
     )
+
+
+def execute_task_chunk(
+    config: SystemConfig, plan: RunPlan, tasks: Sequence[SimTask]
+) -> tuple[List[SimResult], BaseException | None]:
+    """Run a batch of tasks in one worker call (amortizes pool IPC).
+
+    Chunks are built per mix, so every task after the first hits the trace
+    memo and a chunk ships one pickle round-trip instead of one per task.
+    Returns the results of the tasks that completed (in task order) plus the
+    exception that stopped the batch, if any — so a failure mid-chunk does
+    not discard its siblings' finished work (the caller persists them before
+    re-raising, preserving the per-task store/resume granularity).
+    """
+    results: List[SimResult] = []
+    for task in tasks:
+        try:
+            results.append(execute_task(config, plan, task))
+        except BaseException as exc:  # re-raised by the caller
+            return results, exc
+    return results, None
 
 
 class ParallelRunner:
@@ -173,6 +217,24 @@ class ParallelRunner:
             for mix, group in zip(mixes, per_mix_tasks)
         ]
 
+    def _chunk(self, pending: Sequence[SimTask]) -> List[List[SimTask]]:
+        """Group pending tasks into per-mix chunks for pool submission.
+
+        One chunk per mix keeps a mix's tasks on one worker (trace-memo hits)
+        and cuts pool IPC to one round-trip per mix.  When that would leave
+        workers idle — fewer mixes than workers — fall back to single-task
+        chunks so parallelism wins over memo locality.
+        """
+        chunks: List[List[SimTask]] = []
+        for task in pending:
+            if chunks and chunks[-1][0].mix_id == task.mix_id:
+                chunks[-1].append(task)
+            else:
+                chunks.append([task])
+        if len(chunks) < self.jobs:
+            return [[task] for task in pending]
+        return chunks
+
     def _execute(self, pending: Sequence[SimTask]):
         """Yield ``(task, result)`` pairs, in-process or via the pool."""
         if not pending:
@@ -183,11 +245,15 @@ class ParallelRunner:
             return
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {
-                pool.submit(execute_task, self.config, self.plan, task): task
-                for task in pending
+                pool.submit(execute_task_chunk, self.config, self.plan, chunk): chunk
+                for chunk in self._chunk(pending)
             }
             for future in as_completed(futures):
-                yield futures[future], future.result()
+                results, error = future.result()
+                for task, result in zip(futures[future], results):
+                    yield task, result
+                if error is not None:
+                    raise error
 
     # -- merging -----------------------------------------------------------
 

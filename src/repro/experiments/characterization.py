@@ -5,6 +5,12 @@ set-level demand distribution of a single program over sampling intervals);
 :func:`survey_26` reproduces the Section 2.3 conclusion that exactly seven
 of the 26 SPEC2000 programs exhibit strong, exploitable set-level
 non-uniformity of capacity demand.
+
+Profiling runs through the vectorized stack-distance kernel
+(:mod:`repro.cache.stackdist_fast`), and :func:`survey_26` optionally fans
+its 26 programs across worker processes via the engine's
+:func:`~repro.engine.pool.parallel_map` — rows come back in request order,
+so the parallel survey is identical to the serial one.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Dict, List
 
 from ..analysis.demand import DemandDistribution, bucket_bounds, characterize_trace
 from ..analysis.report import render_distribution, render_table
+from ..engine.pool import parallel_map
 from ..workloads.spec2000 import benchmark_names, make_benchmark_trace
 
 __all__ = ["figure_distribution", "SurveyRow", "survey_26", "render_survey"]
@@ -69,6 +76,31 @@ class SurveyRow:
     non_uniform: bool
 
 
+def _survey_one(
+    name: str,
+    num_sets: int,
+    intervals: int,
+    interval_accesses: int,
+    seed: int,
+    threshold: float,
+) -> SurveyRow:
+    """One program's survey row (module-level so worker processes can run it)."""
+    dist = figure_distribution(
+        name,
+        num_sets=num_sets,
+        intervals=intervals,
+        interval_accesses=interval_accesses,
+        seed=seed,
+    )
+    return SurveyRow(
+        benchmark=name,
+        giver_fraction=dist.giver_fraction(),
+        taker_fraction=dist.taker_fraction(),
+        score=dist.nonuniformity_score(),
+        non_uniform=dist.is_non_uniform(threshold),
+    )
+
+
 def survey_26(
     *,
     num_sets: int = 64,
@@ -76,27 +108,22 @@ def survey_26(
     interval_accesses: int = 1500,
     seed: int = 0,
     threshold: float = 0.08,
+    jobs: int = 0,
 ) -> List[SurveyRow]:
-    """Characterize all 26 programs and classify their non-uniformity."""
-    rows: List[SurveyRow] = []
-    for name in benchmark_names():
-        dist = figure_distribution(
-            name,
-            num_sets=num_sets,
-            intervals=intervals,
-            interval_accesses=interval_accesses,
-            seed=seed,
-        )
-        rows.append(
-            SurveyRow(
-                benchmark=name,
-                giver_fraction=dist.giver_fraction(),
-                taker_fraction=dist.taker_fraction(),
-                score=dist.nonuniformity_score(),
-                non_uniform=dist.is_non_uniform(threshold),
-            )
-        )
-    return rows
+    """Characterize all 26 programs and classify their non-uniformity.
+
+    ``jobs >= 1`` fans the programs across that many worker processes via
+    :func:`~repro.engine.pool.parallel_map`; rows are returned in benchmark
+    order either way, so the output is identical to the serial run.
+    """
+    return parallel_map(
+        _survey_one,
+        [
+            (name, num_sets, intervals, interval_accesses, seed, threshold)
+            for name in benchmark_names()
+        ],
+        jobs=jobs,
+    )
 
 
 def render_survey(rows: List[SurveyRow]) -> str:

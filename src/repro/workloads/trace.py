@@ -81,6 +81,21 @@ class Trace:
     def write_fraction(self) -> float:
         return float(self.writes.mean())
 
+    @property
+    def mean_gap(self) -> float:
+        """Mean inter-access gap in instructions, computed once per trace.
+
+        The event-budget guard of :meth:`repro.core.cmp.CmpSystem.run` reads
+        this on every run; caching turns a per-run NumPy reduction into a
+        dict lookup.  The trace is immutable, so the value can never go
+        stale (stored via ``object.__setattr__`` to respect ``frozen``).
+        """
+        cached = self.__dict__.get("_mean_gap")
+        if cached is None:
+            cached = float(self.gaps.mean())
+            object.__setattr__(self, "_mean_gap", cached)
+        return cached
+
     def accesses_per_kilo_instruction(self) -> float:
         """L2 APKI — the intensity knob of the workload."""
         return 1000.0 * len(self) / self.instructions

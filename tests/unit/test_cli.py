@@ -29,6 +29,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--scale", "huge", "overhead"])
 
+    def test_survey_args(self):
+        args = build_parser().parse_args(["survey", "--jobs", "2"])
+        assert args.command == "survey"
+        assert args.jobs == 2
+
+    def test_survey_negative_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["survey", "--jobs", "-1"])
+
 
 class TestCommands:
     def test_overhead(self, capsys):
@@ -44,6 +53,26 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "applu" in out and "uniform" in out
+
+    def test_survey_tiny(self, capsys):
+        rc = main([
+            "--scale", "tiny", "survey",
+            "--intervals", "2", "--interval-accesses", "400",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Section 2.3 survey" in out
+        assert "ammp" in out and "applu" in out
+
+    def test_survey_parallel_output_identical(self, capsys):
+        """--jobs N must print exactly what the serial path prints."""
+        argv = ["--scale", "tiny", "survey", "--intervals", "2",
+                "--interval-accesses", "400"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
 
     def test_run_tiny(self, capsys):
         rc = main([

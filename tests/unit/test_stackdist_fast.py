@@ -1,0 +1,121 @@
+"""Unit tests for repro.cache.stackdist_fast (vectorized Mattson profiling)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.demand import characterize_trace
+from repro.cache.stackdist_fast import (
+    DemandProfile,
+    count_leq_before,
+    profile_stream,
+    stack_distances,
+)
+from repro.common.errors import ConfigError
+from repro.workloads.spec2000 import make_benchmark_trace
+
+
+class TestCountLeqBefore:
+    def test_empty_and_singleton(self):
+        assert count_leq_before(np.array([], dtype=np.int64)).size == 0
+        assert count_leq_before(np.array([7])).tolist() == [0]
+
+    def test_sorted_ascending_counts_everything(self):
+        n = 300  # spans several merge levels
+        assert count_leq_before(np.arange(n)).tolist() == list(range(n))
+
+    def test_sorted_descending_counts_nothing(self):
+        n = 300
+        assert count_leq_before(np.arange(n)[::-1].copy()).tolist() == [0] * n
+
+    def test_ties_count_as_leq(self):
+        assert count_leq_before(np.array([5, 5, 5])).tolist() == [0, 1, 2]
+
+
+class TestStackDistances:
+    def test_cold_misses_are_zero(self):
+        assert stack_distances(np.arange(10), 2).tolist() == [0] * 10
+
+    def test_immediate_rereference_is_one(self):
+        assert stack_distances(np.array([3, 3, 3]), 1).tolist() == [0, 1, 1]
+
+    def test_cyclic_working_set(self):
+        """Cycling over w blocks of one set re-references at distance w."""
+        w = 5
+        addrs = np.tile(np.arange(w) * 4, 6)  # all map to set 0 of 4 sets
+        dist = stack_distances(addrs, 4)
+        assert (dist[:w] == 0).all()
+        assert (dist[w:] == w).all()
+
+    def test_sets_profile_independently(self):
+        # Set 0 alternates two blocks; set 1 streams.
+        addrs = np.array([0, 2, 0, 2, 1, 3, 5, 7])
+        dist = stack_distances(addrs, 2)
+        assert dist.tolist() == [0, 0, 2, 2, 0, 0, 0, 0]
+
+    def test_non_pow2_sets_rejected(self):
+        with pytest.raises(ValueError):
+            stack_distances(np.arange(4), 3)
+
+    def test_long_window_fallback(self):
+        """Windows past the short-path bound still produce exact distances."""
+        w = 600  # window length >> _SHORT_WINDOW
+        addrs = np.tile(np.arange(w), 3)
+        dist = stack_distances(addrs, 1)
+        assert (dist[w:] == w).all()
+
+
+class TestDemandProfile:
+    def test_block_required_no_hits_is_one(self):
+        prof = DemandProfile(hist=np.zeros((2, 3, 4), dtype=np.int64))
+        assert (prof.block_required() == 1).all()
+
+    def test_block_required_deepest_hit(self):
+        hist = np.zeros((1, 1, 8), dtype=np.int64)
+        hist[0, 0, 2] = 5
+        hist[0, 0, 5] = 1
+        prof = DemandProfile(hist=hist)
+        assert prof.block_required()[0, 0] == 6
+
+    def test_hit_counts_clip_to_depth(self):
+        hist = np.ones((1, 2, 4), dtype=np.int64)
+        prof = DemandProfile(hist=hist)
+        assert (prof.hit_counts(2) == 2).all()
+        assert (prof.hit_counts(99) == 4).all()
+
+    def test_shape_properties(self):
+        prof = DemandProfile(hist=np.zeros((5, 8, 32), dtype=np.int64))
+        assert (prof.intervals, prof.num_sets, prof.depth) == (5, 8, 32)
+
+
+class TestProfileStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            profile_stream(np.arange(8), 4, 0, 4)
+        with pytest.raises(ValueError):
+            profile_stream(np.arange(8), 4, 8, 0)
+
+    def test_trailing_partial_interval_dropped(self):
+        prof = profile_stream(np.zeros(10, dtype=np.int64), 1, 4, 4)
+        assert prof.intervals == 2
+        # 3 hits in the first full interval (after the cold miss), 4 in the
+        # second; the 2 trailing accesses are not profiled — like the spec.
+        assert prof.hist[0, 0, 0] == 3
+        assert prof.hist[1, 0, 0] == 4
+
+    def test_max_intervals_cap(self):
+        prof = profile_stream(np.zeros(20, dtype=np.int64), 1, 4, 4, max_intervals=2)
+        assert prof.intervals == 2
+
+
+class TestCharacterizeKernels:
+    def test_fast_and_reference_bit_identical(self):
+        trace = make_benchmark_trace("vortex", 16, 6000, seed=3)
+        fast = characterize_trace(trace, 16, interval_accesses=1000)
+        ref = characterize_trace(trace, 16, interval_accesses=1000, kernel="reference")
+        assert (fast.demand == ref.demand).all()
+        assert fast.sizes.tobytes() == ref.sizes.tobytes()
+
+    def test_unknown_kernel_rejected(self):
+        trace = make_benchmark_trace("gzip", 16, 4000, seed=0)
+        with pytest.raises(ConfigError):
+            characterize_trace(trace, 16, interval_accesses=1000, kernel="turbo")
