@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Bench trend gate: compare fresh ``BENCH_*.json`` against committed refs.
+
+Usage (after running the speed benches, which write the current artifacts)::
+
+    PYTHONPATH=src python benchmarks/trend.py \\
+        --ref benchmarks --current "$REPRO_BENCH_DIR"
+
+Exits non-zero when a bench's ``geomean_speedup`` regressed past the noise
+tolerance — unless ``REPRO_BENCH_RELAX`` is set (CI smoke runs on shared
+machines), in which case regressions print as warnings and the exit code
+stays zero.  Comparison semantics live in :mod:`repro.analysis.trend`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.analysis.trend import (
+    DEFAULT_BENCHES,
+    DEFAULT_TOLERANCE,
+    check_trend,
+    render_trend,
+    trend_ok,
+)
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ref", default=str(BENCH_DIR), metavar="DIR",
+        help="directory holding the committed reference artifacts "
+             "(default: this benchmarks/ directory)",
+    )
+    parser.add_argument(
+        "--current", default=os.environ.get("REPRO_BENCH_DIR") or None,
+        metavar="DIR",
+        help="directory holding the fresh artifacts (default: $REPRO_BENCH_DIR; "
+             "required when that is unset)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="FRAC",
+        help=f"allowed fractional geomean_speedup drop (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--benches", nargs="+", default=list(DEFAULT_BENCHES),
+        help="bench names to compare (BENCH_<name>.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.current is None:
+        parser.error(
+            "--current DIR is required (or set REPRO_BENCH_DIR): run the speed "
+            "benches with REPRO_BENCH_DIR pointing somewhere other than the "
+            "committed refs, then compare that directory"
+        )
+    if Path(args.current).resolve() == Path(args.ref).resolve():
+        # Comparing a directory against itself always passes — refuse the
+        # vacuous check rather than print a misleading green result.
+        parser.error(
+            f"--current and --ref are the same directory ({args.ref}); "
+            "the comparison would be vacuous"
+        )
+
+    relax = os.environ.get("REPRO_BENCH_RELAX", "") not in ("", "0")
+    checks = check_trend(args.ref, args.current, args.benches, args.tolerance)
+    print(render_trend(checks, relax=relax))
+    return 0 if trend_ok(checks, relax=relax) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

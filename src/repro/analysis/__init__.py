@@ -10,6 +10,7 @@ from .metrics import (
 )
 from .overhead import FieldLengths, SnugOverheadModel
 from .report import format_pct, render_distribution, render_series, render_table
+from .trend import TrendCheck, check_trend, render_trend, trend_ok
 
 __all__ = [
     "DemandDistribution",
@@ -27,4 +28,8 @@ __all__ = [
     "render_distribution",
     "render_series",
     "render_table",
+    "TrendCheck",
+    "check_trend",
+    "render_trend",
+    "trend_ok",
 ]

@@ -1,0 +1,152 @@
+"""Performance-trajectory trend check over ``BENCH_*.json`` artifacts.
+
+The speed benchmarks persist their measurements as machine-readable JSON
+(``benchmarks/BENCH_sim_speed.json``, ``benchmarks/BENCH_profiler.json``;
+committed per PR).  This module compares a fresh run's artifacts against
+those committed references and flags regressions of the headline
+``geomean_speedup`` beyond a noise tolerance — so the perf trajectory the
+ROADMAP asks for is an enforced check, not a number nobody reads.
+
+Comparison rules (each produces one :class:`TrendCheck`):
+
+* reference missing → the trajectory has no baseline yet: **pass** with a
+  note (the current artifact becomes the first reference when committed);
+* current artifact missing → the bench silently stopped emitting: **fail**;
+* scale mismatch between the two runs → numbers are incomparable: **skip**;
+* otherwise **fail** iff ``current < reference * (1 - tolerance)``.
+
+``REPRO_BENCH_RELAX`` (the same switch that relaxes the benches' own
+speedup assertions on noisy CI machines) downgrades failures to warnings —
+the comparison still runs and prints, so CI keeps recording the trajectory
+without trusting shared-runner wall clocks.  ``benchmarks/trend.py`` is the
+command-line entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "TrendCheck",
+    "DEFAULT_BENCHES",
+    "DEFAULT_TOLERANCE",
+    "compare_bench",
+    "check_trend",
+    "render_trend",
+    "trend_ok",
+]
+
+#: The speed benches with committed reference artifacts.
+DEFAULT_BENCHES: Tuple[str, ...] = ("sim_speed", "profiler")
+
+#: Allowed fractional drop of geomean_speedup before a check fails.  Wide
+#: on purpose: wall-clock geomeans over a handful of schemes/programs
+#: wobble, and the check must only catch real regressions.
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class TrendCheck:
+    """Outcome of one bench's reference-vs-current comparison."""
+
+    bench: str
+    ok: bool
+    note: str
+    reference: float | None = None
+    current: float | None = None
+
+    @property
+    def ratio(self) -> float | None:
+        """current / reference, when both sides exist."""
+        if self.reference and self.current is not None:
+            return self.current / self.reference
+        return None
+
+
+def _read_artifact(directory: Path, bench: str) -> Tuple[dict | None, str | None]:
+    """``(doc, problem)``: the parsed artifact, or why it could not be read.
+
+    A torn/corrupt artifact must surface as a *failing check*, never as an
+    unhandled traceback — under ``REPRO_BENCH_RELAX`` that downgrades to a
+    warning like any other failure, keeping the CI warn-only contract.
+    """
+    path = directory / f"BENCH_{bench}.json"
+    if not path.is_file():
+        return None, None
+    try:
+        return json.loads(path.read_text()), None
+    except (json.JSONDecodeError, OSError) as exc:
+        return None, f"unreadable artifact {path}: {exc}"
+
+
+def compare_bench(
+    bench: str,
+    ref: dict | None,
+    cur: dict | None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> TrendCheck:
+    """Compare one bench's committed reference against the current artifact."""
+    if ref is None:
+        return TrendCheck(bench, True, "no committed reference yet (trajectory starts here)")
+    if cur is None:
+        return TrendCheck(
+            bench, False, "bench emitted no current artifact (did it stop running?)"
+        )
+    if ref.get("scale") != cur.get("scale"):
+        return TrendCheck(
+            bench,
+            True,
+            f"scales differ (ref={ref.get('scale')!r}, cur={cur.get('scale')!r}); "
+            "numbers not comparable — skipped",
+        )
+    ref_val = ref.get("geomean_speedup")
+    cur_val = cur.get("geomean_speedup")
+    if not isinstance(ref_val, (int, float)) or not isinstance(cur_val, (int, float)):
+        return TrendCheck(bench, False, "artifact lacks geomean_speedup")
+    floor = ref_val * (1.0 - tolerance)
+    if cur_val < floor:
+        note = (
+            f"geomean_speedup regressed: {cur_val:.3f} < {ref_val:.3f} "
+            f"* (1 - {tolerance:.0%}) = {floor:.3f}"
+        )
+        return TrendCheck(bench, False, note, reference=ref_val, current=cur_val)
+    note = f"geomean_speedup {cur_val:.3f} vs ref {ref_val:.3f} (floor {floor:.3f})"
+    return TrendCheck(bench, True, note, reference=ref_val, current=cur_val)
+
+
+def check_trend(
+    ref_dir: str | os.PathLike,
+    current_dir: str | os.PathLike,
+    benches: Sequence[str] = DEFAULT_BENCHES,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[TrendCheck]:
+    """Compare every bench artifact in *current_dir* against *ref_dir*."""
+    ref_dir, current_dir = Path(ref_dir), Path(current_dir)
+    checks = []
+    for bench in benches:
+        ref, ref_problem = _read_artifact(ref_dir, bench)
+        cur, cur_problem = _read_artifact(current_dir, bench)
+        problem = ref_problem or cur_problem
+        if problem is not None:
+            checks.append(TrendCheck(bench, False, problem))
+        else:
+            checks.append(compare_bench(bench, ref, cur, tolerance))
+    return checks
+
+
+def render_trend(checks: Sequence[TrendCheck], relax: bool = False) -> str:
+    """Human-readable report, one line per check."""
+    lines = ["perf trend check (geomean_speedup vs committed BENCH_*.json):"]
+    for c in checks:
+        status = "ok" if c.ok else ("WARN (relaxed)" if relax else "FAIL")
+        lines.append(f"  {c.bench:<12} {status:<14} {c.note}")
+    return "\n".join(lines)
+
+
+def trend_ok(checks: Sequence[TrendCheck], relax: bool = False) -> bool:
+    """True when no check failed (or failures are relaxed to warnings)."""
+    return relax or all(c.ok for c in checks)

@@ -23,24 +23,33 @@ Five subcommands cover the library's main entry points:
 ``overhead``
     The analytic Tables 2 and 3.
 
+``worker``
+    Execution worker for distributed sweeps: connects to a ``--backend
+    socket`` coordinator and pulls task chunks until told to shut down.
+
 All commands accept ``--scale {tiny,small,medium,paper}`` and ``--seed``.
 ``run`` and ``sweep`` additionally accept the parallel-engine flags
 ``--jobs N`` (simulate combinations' schemes across N worker processes),
-``--store DIR`` (persist per-task results as JSON) and ``--resume`` (skip
-tasks already completed in the store) — see :mod:`repro.engine`.  The
-engine produces bit-identical results to the serial path.
+``--backend {inline,process,socket}`` (execution transport; ``socket``
+listens on ``--bind HOST:PORT`` for ``repro worker`` processes),
+``--trace-cache DIR`` (shared on-disk trace cache, default
+``$REPRO_TRACE_CACHE``), ``--store DIR`` (persist per-task results as
+JSON) and ``--resume`` (skip tasks already completed in the store) — see
+:mod:`repro.engine`.  Every backend produces bit-identical results to the
+serial path.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from .analysis.overhead import SnugOverheadModel
 from .analysis.report import format_pct, render_combo_metrics, render_table
 from .common.config import SCALE_NAMES, scaled_config
-from .engine import DEFAULT_SCHEMES, ParallelRunner
+from .engine import BACKENDS, DEFAULT_SCHEMES, ParallelRunner, make_backend, run_worker
 from .experiments.characterization import (
     figure_distribution,
     non_uniform_names,
@@ -53,6 +62,7 @@ from .experiments.runner import ComboResult, RunPlan, run_combo
 from .schemes.factory import SCHEMES
 from .workloads.mixes import MIXES, WorkloadMix, get_mix, mix_classes
 from .workloads.spec2000 import benchmark_names
+from .workloads.trace_cache import resolve_cache_root
 
 __all__ = ["main", "build_parser"]
 
@@ -98,11 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="parallel engine: skip tasks already completed in --store",
     )
+    engine_flags.add_argument(
+        "--backend", choices=sorted(BACKENDS), default=None,
+        help="execution backend: inline (this process), process (local pool, "
+             "the --jobs default), or socket (serve task chunks to `repro "
+             "worker` processes)",
+    )
+    engine_flags.add_argument(
+        "--bind", default=None, metavar="HOST:PORT",
+        help="socket backend: coordinator listen address "
+             "(default 127.0.0.1:0 = any free port, printed at startup)",
+    )
+    engine_flags.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="shared on-disk trace cache consulted before regenerating "
+             "workload traces (default: $REPRO_TRACE_CACHE if set)",
+    )
 
     p_char = sub.add_parser("characterize", help="set-level demand distribution (Figs 1-3)")
     p_char.add_argument("benchmark", choices=benchmark_names())
     p_char.add_argument("--intervals", type=int, default=30)
     p_char.add_argument("--interval-accesses", type=int, default=2_000)
+    p_char.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="shared on-disk trace cache (default: $REPRO_TRACE_CACHE if set)",
+    )
 
     p_survey = sub.add_parser("survey", help="Section 2.3 non-uniformity survey (26 programs)")
     p_survey.add_argument("--intervals", type=int, default=12)
@@ -111,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_survey.add_argument(
         "--jobs", type=int, default=0, metavar="N",
         help="characterize programs across N worker processes (0 = in-process)",
+    )
+    p_survey.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="shared on-disk trace cache (default: $REPRO_TRACE_CACHE if set)",
     )
 
     p_run = sub.add_parser("run", help="simulate one workload mix", parents=[engine_flags])
@@ -130,6 +164,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--combos-per-class", type=int, default=None)
 
     sub.add_parser("overhead", help="storage-overhead analysis (Tables 2-3)")
+
+    p_worker = sub.add_parser(
+        "worker", help="pull task chunks from a socket-backend coordinator"
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (the sweep's --bind address)",
+    )
+    p_worker.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="override the coordinator-shipped trace-cache directory",
+    )
+    p_worker.add_argument(
+        "--connect-timeout", type=float, default=30.0, metavar="S",
+        help="keep retrying the connection this long (workers may start "
+             "before the coordinator)",
+    )
     return parser
 
 
@@ -141,6 +192,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         intervals=args.intervals,
         interval_accesses=args.interval_accesses,
         seed=args.seed,
+        trace_cache=args.trace_cache,
     )
     print(render_char(dist, max_rows=20))
     verdict = "NON-UNIFORM" if dist.is_non_uniform() else "uniform"
@@ -161,6 +213,7 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         seed=args.seed,
         threshold=args.threshold,
         jobs=args.jobs,
+        trace_cache=args.trace_cache,
     )
     print(render_survey(rows))
     flagged = non_uniform_names(rows)
@@ -169,28 +222,87 @@ def _cmd_survey(args: argparse.Namespace) -> int:
 
 
 def _engine_requested(args: argparse.Namespace) -> bool:
-    return args.jobs is not None or args.store is not None or args.resume
+    return (
+        args.jobs is not None
+        or args.store is not None
+        or args.resume
+        or args.backend is not None
+        or args.trace_cache is not None
+    )
+
+
+def _parse_hostport(value: str) -> Optional[tuple[str, int]]:
+    """``"HOST:PORT"`` as a tuple, or ``None`` if malformed (validated in main)."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        return None
+    return host, int(port)
 
 
 def _make_engine(args: argparse.Namespace, config, plan, schemes) -> ParallelRunner:
     # --store/--resume without --jobs wants the store, not parallelism:
     # run tasks in-process (jobs=0) rather than paying a 1-worker pool.
+    cache_root = resolve_cache_root(args.trace_cache)
+    backend = None
+    jobs = 0 if args.jobs is None else args.jobs
+    if args.backend is not None:
+        if args.backend == "process" and args.jobs is None:
+            jobs = os.cpu_count() or 1
+        if args.backend == "socket" and args.jobs is None:
+            jobs = 4  # chunk-splitting hint: assume a few workers
+        bind = _parse_hostport(args.bind) if args.bind is not None else None
+        backend = make_backend(
+            args.backend, jobs=jobs, cache_root=cache_root, bind=bind
+        )
     return ParallelRunner(
         config,
         plan,
         schemes=schemes,
-        jobs=0 if args.jobs is None else args.jobs,
+        jobs=jobs,
         store=args.store,
         resume=args.resume,
+        backend=backend,
+        trace_cache=cache_root,
     )
+
+
+def _announce_engine(runner: ParallelRunner) -> None:
+    """Pre-run banner: socket coordinators must print where workers connect."""
+    backend = runner.backend
+    if backend.name == "socket":
+        host, port = backend.bind()
+        print(
+            f"engine: waiting for workers on {host}:{port} "
+            f"(start with: repro worker --connect {host}:{port})"
+        )
 
 
 def _report_engine(runner: ParallelRunner) -> None:
-    workers = "in-process" if runner.jobs == 0 else f"{runner.jobs} worker(s)"
-    print(
-        f"engine: {runner.tasks_total} task(s), {runner.tasks_resumed} resumed, "
-        f"{runner.tasks_run} simulated on {workers}"
+    """One-line execution summary from the runner's counters."""
+    t = runner.trace_stats
+    traces = (
+        f"{t.get('generated', 0)} generated, {t.get('cache_hits', 0)} cache "
+        f"hit(s), {t.get('memo_hits', 0)} memo hit(s)"
     )
+    if t.get("cache_rejected", 0):
+        traces += f", {t['cache_rejected']} corrupt cache entr(ies) regenerated"
+    print(
+        f"engine: backend={runner.backend.describe()}; "
+        f"{runner.tasks_total} task(s): {runner.tasks_resumed} resumed, "
+        f"{runner.tasks_run} simulated; traces: {traces}"
+    )
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    host, port = _parse_hostport(args.connect)
+    chunks = run_worker(
+        host,
+        port,
+        cache_root=resolve_cache_root(args.trace_cache),
+        connect_timeout=args.connect_timeout,
+    )
+    print(f"worker: processed {chunks} chunk(s)")
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -205,6 +317,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     combo: ComboResult
     if _engine_requested(args):
         runner = _make_engine(args, config, plan, tuple(args.schemes))
+        _announce_engine(runner)
         [combo] = runner.run([mix])
         _report_engine(runner)
     else:
@@ -221,6 +334,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if _engine_requested(args):
         mixes = select_mixes(args.classes, args.combos_per_class)
         runner = _make_engine(args, config, plan, DEFAULT_SCHEMES)
+        _announce_engine(runner)
         data = FigureData(combos=runner.run(mixes))
         _report_engine(runner)
     else:
@@ -256,6 +370,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "overhead": _cmd_overhead,
+    "worker": _cmd_worker,
 }
 
 
@@ -270,8 +385,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--resume requires --store DIR")
         if args.jobs is not None and args.jobs < 0:
             parser.error("--jobs must be >= 0 (0 = in-process task loop)")
+        if args.bind is not None and args.backend != "socket":
+            parser.error("--bind requires --backend socket")
+        if args.bind is not None and _parse_hostport(args.bind) is None:
+            parser.error(f"--bind expects HOST:PORT, got {args.bind!r}")
     if args.command == "survey" and args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = in-process survey)")
+    if args.command == "worker" and _parse_hostport(args.connect) is None:
+        parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
     return _COMMANDS[args.command](args)
 
 

@@ -1,9 +1,22 @@
-"""Parallel experiment engine: fan independent simulations across processes.
+"""Parallel experiment engine: a backend-agnostic core over pluggable transports.
 
 The paper's evaluation is a grid of *independent* simulations — every
 (workload mix × L2 scheme × CC spill-probability point) can run on its own
-CPU with no shared state.  This package turns that observation into an
-orchestration layer over :mod:`concurrent.futures`:
+CPU with no shared state.  This package turns that observation into three
+layers:
+
+1. a **backend-agnostic core** (:class:`~repro.engine.runner.ParallelRunner`)
+   owning everything that defines a sweep's outcome — task expansion,
+   resume, store persistence, request-order merging;
+2. pluggable **execution backends**
+   (:mod:`repro.engine.backends`) that only transport task chunks:
+   ``inline`` (in the calling process), ``process`` (a local pool), and
+   ``socket`` (a coordinator that remote ``repro worker`` processes pull
+   chunks from);
+3. a shared **on-disk trace cache**
+   (:mod:`repro.workloads.trace_cache`) that every backend — and the
+   Section 2 characterization — consults before regenerating workload
+   traces.
 
 Task model
 ----------
@@ -18,30 +31,53 @@ scheme list into tasks exactly the way the serial path does —
   (:func:`repro.experiments.runner.select_cc_best`, shared with the serial
   sweep) over the per-probability results.
 
-Deterministic seeding
----------------------
-A task re-derives everything from ``(config, plan, task)``; nothing flows
-between tasks.  Workload traces come from
-``derive_seed(plan.seed, mix_id, slot)`` — the same CRC-folded child-seed
-path the serial runner uses — and scheme-internal RNG streams come from
-``config.seed`` via :class:`~repro.common.rng.RngFactory`.  A task therefore
-produces a bit-identical :class:`~repro.core.cmp.SimResult` no matter which
-worker executes it, in which order, or whether it runs in-process
-(``jobs=0``), in a single worker, or in eight — the determinism test suite
-asserts byte equality across 1/2/4 workers against the serial path.
+The backend interface and determinism contract
+----------------------------------------------
+A backend implements one method::
 
-Trace memoization and chunking
-------------------------------
-Workers memoize generated mix traces per process, keyed by
-``(mix_id, programs, num_sets, n_accesses, seed)`` — everything trace
-generation depends on — so a mix's 5+ scheme/CC-probability tasks stop
-regenerating identical traces.  Pool submission is chunked per mix (one
-round-trip per mix instead of per task) both to amortize IPC and to
-guarantee the memo hits; with fewer mixes than workers the runner falls
-back to single-task chunks so no worker idles.  Both are pure
-optimizations: generation is deterministic in the key and traces are
-immutable, so results stay bit-identical (the determinism suite runs the
-chunked, memoized path).
+    submit_chunks(config, plan, chunks) -> iterator of (task, result)
+
+where ``chunks`` is a list of contiguous same-mix task lists built by the
+runner.  The contract (:class:`~repro.engine.backends.base.ExecutionBackend`):
+
+* report every task of every chunk exactly once, in any order — the runner
+  merges in *request* order, so scheduling can never leak into results;
+* run each task through :func:`~repro.engine.execution.execute_task_chunk`
+  so per-task deterministic seeding and trace provisioning behave
+  identically everywhere: traces come from ``derive_seed(plan.seed, mix_id,
+  slot)`` and scheme-internal RNG streams from ``config.seed``, so a task's
+  :class:`~repro.core.cmp.SimResult` is bit-identical no matter which
+  worker (or machine) executes it;
+* on a task failure, yield the chunk's completed siblings first, then raise
+  (the runner persists them, preserving per-task resume granularity).
+
+**Adding a backend** is: subclass ``ExecutionBackend``, implement
+``submit_chunks``, register the class in
+:data:`repro.engine.backends.BACKENDS`.  The backend-conformance suite
+(``tests/engine/test_backends.py``) is the acceptance gate — every backend
+must merge to :class:`~repro.experiments.runner.ComboResult` s byte-identical
+to the serial :func:`~repro.experiments.runner.run_combo` output (which
+itself runs on the inline backend), including after a resume.
+
+The socket backend adds a fault model on top: workers heartbeat while
+simulating, a silent or disconnected worker's chunk is requeued, and
+completions are deduplicated by chunk id — so a dropped worker can neither
+lose nor duplicate a task (see :mod:`repro.engine.backends.socket`).
+
+Trace provisioning
+------------------
+Workers obtain a mix's traces through two tiers keyed by
+``(mix_id, programs, num_sets, n_accesses, seed)`` — everything generation
+depends on: a per-process memo, then the optional shared on-disk
+:class:`~repro.workloads.trace_cache.TraceCache` (atomic writes, SHA-256
+content digests; corrupt entries are regenerated, never trusted).  Chunks
+are contiguous same-mix task runs so the memo hits within a chunk; with
+fewer mixes than workers the runner splits each mix's chunk into at most
+``ceil(len/jobs)``-sized contiguous sub-chunks — parallelism and memo
+locality coexist.  All tiers are pure optimizations: generation is
+deterministic in the key and traces are immutable, so results stay
+bit-identical (the determinism suite runs the chunked, memoized, cached
+paths).
 
 Beyond the simulation grid, :func:`~repro.engine.pool.parallel_map` packages
 the same fan-out/merge-in-request-order discipline for any picklable work
@@ -65,34 +101,47 @@ probability point).  Writes are atomic (temp file + ``os.replace``), so a
 killed run never leaves a half-written result.  The manifest is verified on
 reopen: resuming with a different config/plan/scheme list raises
 :class:`~repro.common.errors.EngineError` instead of mixing incomparable
-results.
+results.  The store is what makes backends interchangeable mid-experiment —
+any backend writing the same layout can finish a sweep another one started.
 
 Resume
 ------
 With ``resume=True`` (CLI: ``--resume``) completed task ids are skipped and
 their results loaded from disk; only the remainder is dispatched.  The JSON
 round trip is exact, so a resumed sweep is byte-identical to an uninterrupted
-one.
+one — on every backend.
 
 CLI usage
 ---------
-``python -m repro run``/``sweep`` accept ``--jobs N`` (worker processes;
-``0`` = in-process execution without a pool), ``--store DIR`` and
-``--resume``::
+``python -m repro run``/``sweep`` accept ``--jobs N``, ``--backend
+{inline,process,socket}``, ``--bind HOST:PORT`` (socket listen address),
+``--trace-cache DIR``, ``--store DIR`` and ``--resume``::
 
+    # local pool
     python -m repro sweep --scale medium --jobs 8 --store out/sweep
-    # interrupted?  finish the remainder:
+    # distributed: coordinator ...
+    python -m repro sweep --scale medium --backend socket \\
+        --bind 0.0.0.0:7009 --trace-cache /shared/traces --store out/sweep
+    # ... plus any number of workers, started before or after, anywhere:
+    python -m repro worker --connect coordinator-host:7009
+    # interrupted?  finish the remainder on any backend:
     python -m repro sweep --scale medium --jobs 8 --store out/sweep --resume
-
-Follow-on direction (see ROADMAP): the task model is process-pool agnostic —
-a distributed backend only needs to ship ``(config, plan, task)`` tuples to
-remote workers and write the same store layout.
 """
 
 from __future__ import annotations
 
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    SocketBackend,
+    make_backend,
+    run_worker,
+)
+from .execution import consume_trace_stats, execute_task, execute_task_chunk
 from .pool import parallel_map
-from .runner import DEFAULT_SCHEMES, ParallelRunner, execute_task, execute_task_chunk
+from .runner import DEFAULT_SCHEMES, ParallelRunner
 from .store import ResultStore
 from .tasks import SimTask, expand_mix_tasks
 
@@ -103,6 +152,14 @@ __all__ = [
     "expand_mix_tasks",
     "execute_task",
     "execute_task_chunk",
+    "consume_trace_stats",
     "parallel_map",
     "DEFAULT_SCHEMES",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "SocketBackend",
+    "BACKENDS",
+    "make_backend",
+    "run_worker",
 ]

@@ -1,0 +1,78 @@
+"""Concrete execution backends and the backend registry.
+
+Three transports, one contract (see :class:`~repro.engine.backends.base.
+ExecutionBackend`):
+
+``inline``
+    Chunks run in the calling process — the reference backend, also used by
+    the serial :func:`~repro.experiments.runner.run_combo`.
+``process``
+    A single-machine :class:`~concurrent.futures.ProcessPoolExecutor` fan-out.
+``socket``
+    A TCP coordinator that ``repro worker --connect HOST:PORT`` processes
+    pull chunks from — the many-node sweep transport, with heartbeat
+    liveness and requeue-on-worker-death.
+
+:func:`make_backend` maps a CLI-level name plus generic knobs onto the right
+constructor.  New backends register here: subclass ``ExecutionBackend``,
+implement ``submit_chunks``, add the class to :data:`BACKENDS` — the
+conformance suite (``tests/engine/test_backends.py``) then holds it to the
+bit-identical-merge contract automatically.
+"""
+
+from __future__ import annotations
+
+from ...common.errors import EngineError
+from .base import ExecutionBackend
+from .inline import InlineBackend
+from .process import ProcessPoolBackend
+from .socket import SocketBackend, run_worker
+
+__all__ = [
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "SocketBackend",
+    "run_worker",
+    "BACKENDS",
+    "make_backend",
+]
+
+#: Registry of constructable backends, keyed by CLI name.
+BACKENDS = {
+    InlineBackend.name: InlineBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    SocketBackend.name: SocketBackend,
+}
+
+
+def make_backend(
+    name: str,
+    *,
+    jobs: int = 0,
+    cache_root: str | None = None,
+    bind: tuple[str, int] | None = None,
+    heartbeat_timeout: float | None = None,
+    worker_wait: float | None = None,
+) -> ExecutionBackend:
+    """Construct a registered backend from generic engine knobs.
+
+    ``jobs`` sizes the process pool (ignored by ``inline``; a parallelism
+    hint for chunk splitting either way); ``bind`` is the ``socket``
+    listen address.
+    """
+    if name not in BACKENDS:
+        raise EngineError(
+            f"unknown execution backend {name!r}; choose from {sorted(BACKENDS)}"
+        )
+    if name == InlineBackend.name:
+        return InlineBackend(cache_root)
+    if name == ProcessPoolBackend.name:
+        return ProcessPoolBackend(max(jobs, 1), cache_root)
+    host, port = bind if bind is not None else ("127.0.0.1", 0)
+    kwargs = {}
+    if heartbeat_timeout is not None:
+        kwargs["heartbeat_timeout"] = heartbeat_timeout
+    if worker_wait is not None:
+        kwargs["worker_wait"] = worker_wait
+    return SocketBackend(host, port, cache_root=cache_root, **kwargs)

@@ -1,0 +1,73 @@
+"""The execution-backend interface.
+
+A backend is *only* a transport: it receives the task chunks the runner
+built and returns ``(task, result)`` pairs, in any order.  Everything that
+defines the outcome — task expansion, resume, store persistence, CC(Best)
+selection, request-order merging — stays in
+:class:`~repro.engine.runner.ParallelRunner`, which is what makes the
+determinism contract backend-agnostic: a backend that executes every task
+through :func:`~repro.engine.execution.execute_task_chunk` and reports each
+result exactly once merges to bit-identical
+:class:`~repro.experiments.runner.ComboResult` s, however the tasks were
+scheduled (the backend-conformance suite asserts this for every registered
+backend).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ...common.config import SystemConfig
+from ...core.cmp import SimResult
+from ...experiments.runner import RunPlan
+from ..tasks import SimTask
+
+__all__ = ["ExecutionBackend"]
+
+
+class ExecutionBackend(ABC):
+    """Executes task chunks somewhere and streams back ``(task, result)``.
+
+    Contract
+    --------
+    * Every task of every chunk is reported exactly once (or an exception is
+      raised); the pair order is free — the runner merges in request order.
+    * Each task runs through
+      :func:`~repro.engine.execution.execute_task_chunk` (directly or in a
+      worker process), so per-task deterministic seeding and the trace
+      memo/disk-cache tiers behave identically on every backend.
+    * A task failure propagates as an exception *after* the chunk's
+      completed siblings have been yielded (the runner persists them first,
+      preserving per-task resume granularity).
+    * Trace-provisioning counters returned by worker chunks are accumulated
+      into :attr:`stats` via :meth:`record_stats`.
+    """
+
+    #: Registry name (``"inline"``, ``"process"``, ``"socket"``).
+    name: str = "?"
+
+    def __init__(self, cache_root: str | None = None) -> None:
+        #: Shared on-disk trace-cache directory shipped to workers
+        #: (``None`` disables the disk tier; the per-process memo remains).
+        self.cache_root = cache_root
+        #: Aggregated trace-provisioning counters across all chunks.
+        self.stats: Dict[str, int] = {"memo_hits": 0, "cache_hits": 0, "generated": 0}
+
+    @abstractmethod
+    def submit_chunks(
+        self,
+        config: SystemConfig,
+        plan: RunPlan,
+        chunks: Sequence[List[SimTask]],
+    ) -> Iterator[Tuple[SimTask, SimResult]]:
+        """Execute *chunks* and yield each ``(task, result)`` pair once."""
+
+    def record_stats(self, stats: Dict[str, int]) -> None:
+        """Fold one chunk's trace counters into the backend totals."""
+        for key, value in stats.items():
+            self.stats[key] = self.stats.get(key, 0) + value
+
+    def describe(self) -> str:
+        """Human-readable form for the CLI execution summary."""
+        return self.name

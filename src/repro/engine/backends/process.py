@@ -1,0 +1,56 @@
+"""Single-machine process-pool execution (the engine's classic path).
+
+One :func:`~repro.engine.execution.execute_task_chunk` call per chunk is
+submitted to a :class:`~concurrent.futures.ProcessPoolExecutor`; results
+stream back as futures complete.  Each worker process keeps its own trace
+memo, and the shared on-disk cache (when configured) lets workers reuse
+traces across process boundaries and runs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Iterator, List, Sequence, Tuple
+
+from ...common.config import SystemConfig
+from ...common.errors import EngineError
+from ...core.cmp import SimResult
+from ...experiments.runner import RunPlan
+from ..execution import execute_task_chunk
+from ..tasks import SimTask
+from .base import ExecutionBackend
+
+__all__ = ["ProcessPoolBackend"]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan chunks across *jobs* local worker processes."""
+
+    name = "process"
+
+    def __init__(self, jobs: int, cache_root: str | None = None) -> None:
+        if jobs < 1:
+            raise EngineError("ProcessPoolBackend needs jobs >= 1")
+        super().__init__(cache_root)
+        self.jobs = jobs
+
+    def submit_chunks(
+        self,
+        config: SystemConfig,
+        plan: RunPlan,
+        chunks: Sequence[List[SimTask]],
+    ) -> Iterator[Tuple[SimTask, SimResult]]:
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(execute_task_chunk, config, plan, chunk, self.cache_root): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                results, error, stats = future.result()
+                self.record_stats(stats)
+                yield from zip(futures[future], results)
+                if error is not None:
+                    raise error
+
+    def describe(self) -> str:
+        return f"process ({self.jobs} worker{'s' if self.jobs != 1 else ''})"

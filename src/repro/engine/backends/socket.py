@@ -1,0 +1,551 @@
+"""Socket execution backend: a pull-based coordinator/worker protocol.
+
+The coordinator (:class:`SocketBackend`) listens on a TCP address; worker
+processes — started anywhere with ``repro worker --connect HOST:PORT`` —
+connect and *pull* task chunks, so load-balancing is automatic and workers
+can join or leave mid-sweep.
+
+Wire protocol
+-------------
+Length-prefixed frames: a 4-byte big-endian payload length followed by the
+message body.  The ``hello`` handshake is **JSON** — validated before the
+coordinator will unpickle anything from that connection — and every later
+message is a pickled dict (task/result payloads carry dataclasses).
+Messages:
+
+========== =========== ====================================================
+direction  type        payload
+========== =========== ====================================================
+worker →   hello       ``worker``, ``version`` (protocol handshake)
+worker →   ready       request for the next chunk
+coord  →   chunk       ``chunk_id``, ``tasks``, ``config``, ``plan``,
+                       ``cache_root``
+worker →   heartbeat   liveness ping, sent every few seconds mid-chunk
+worker →   result      ``chunk_id``, ``results``, ``error``, ``stats``
+coord  →   shutdown    no more work; the worker exits
+========== =========== ====================================================
+
+Fault model
+-----------
+A worker is presumed dead when its connection drops or stays silent past
+``heartbeat_timeout`` (workers heartbeat every ``heartbeat_interval``
+seconds while simulating, so silence means a hang or a kill).  Its
+in-flight chunk is *requeued* for the next ``ready`` worker — dispatch is
+therefore at-least-once, and the coordinator deduplicates completions by
+``chunk_id`` so a presumed-dead-but-slow worker's late result can never
+yield a task twice.  Task results are deterministic in ``(config, plan,
+task)``, so a re-executed chunk is bit-identical to what the dead worker
+would have produced: requeue affects wall-clock only, never the merged
+output.  A run with work pending but no connected workers for
+``worker_wait`` seconds raises :class:`~repro.common.errors.EngineError`
+instead of hanging forever.
+
+.. warning::
+   The protocol carries **pickled** payloads with no authentication or
+   encryption: unpickling attacker-controlled bytes is arbitrary code
+   execution, so a coordinator port (and the coordinator address a worker
+   dials) must only be reachable by trusted hosts.  The default bind is
+   loopback; bind non-loopback addresses only inside a trusted network
+   (TLS/auth on the protocol is a tracked ROADMAP item).  The JSON
+   handshake keeps a *non-worker* peer (port scanner, misdirected client)
+   from reaching the unpickler, but it is a screen, not authentication.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+from queue import Empty, Queue
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ...common.config import SystemConfig
+from ...common.errors import EngineError
+from ...core.cmp import SimResult
+from ...experiments.runner import RunPlan
+from ..execution import execute_task_chunk
+from ..tasks import SimTask
+from .base import ExecutionBackend
+
+__all__ = [
+    "SocketBackend",
+    "run_worker",
+    "send_msg",
+    "recv_msg",
+    "send_hello",
+    "recv_hello",
+    "PROTOCOL_VERSION",
+]
+
+#: Bumped on incompatible wire-protocol changes; the handshake rejects
+#: mismatched workers so a stale deployment fails loudly, not subtly.
+PROTOCOL_VERSION = 1
+
+#: Seconds between worker heartbeats while a chunk is simulating.
+HEARTBEAT_INTERVAL = 2.0
+
+#: Coordinator-side silence threshold before a worker is presumed dead.
+HEARTBEAT_TIMEOUT = 30.0
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames (corrupt header / non-protocol peer) early.
+_MAX_FRAME = 1 << 30
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def send_msg(sock: socket.socket, message: dict) -> None:
+    """Send one length-prefixed pickled message."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly *n* bytes; ``None`` on clean EOF at a frame boundary."""
+    parts: List[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise EOFError("connection closed mid-frame")
+        parts.append(chunk)
+        got += len(chunk)
+    return b"".join(parts)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[bytes]:
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise EngineError(f"oversized protocol frame ({length} bytes)")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise EOFError("connection closed mid-frame")
+    return body
+
+
+def recv_msg(sock: socket.socket) -> Optional[dict]:
+    """Receive one pickled message; ``None`` when the peer closed the connection."""
+    body = _recv_frame(sock)
+    return None if body is None else pickle.loads(body)
+
+
+def send_hello(sock: socket.socket, worker: str) -> None:
+    """Send the JSON handshake frame (the only non-pickle message)."""
+    body = json.dumps(
+        {"type": "hello", "version": PROTOCOL_VERSION, "worker": worker}
+    ).encode()
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def recv_hello(sock: socket.socket) -> Optional[dict]:
+    """Receive and validate the handshake *without* touching the unpickler.
+
+    The hello frame is JSON so a connection is screened before any pickled
+    bytes from it are trusted; anything unparsable or mismatched returns
+    ``None`` and the caller drops the connection.
+    """
+    try:
+        body = _recv_frame(sock)
+        if body is None:
+            return None
+        hello = json.loads(body)
+    except (ValueError, EngineError):  # not JSON / absurd frame: not a worker
+        return None
+    if (
+        not isinstance(hello, dict)
+        or hello.get("type") != "hello"
+        or hello.get("version") != PROTOCOL_VERSION
+    ):
+        return None
+    return hello
+
+
+# -- coordinator ------------------------------------------------------------
+
+
+class _SweepState:
+    """Shared coordinator state: the chunk queue, completions, liveness."""
+
+    def __init__(self, chunks: Sequence[List[SimTask]]) -> None:
+        self.chunks = list(chunks)
+        self.pending: "Queue[int]" = Queue()
+        for chunk_id in range(len(self.chunks)):
+            self.pending.put(chunk_id)
+        #: Completion events for the consuming generator, exactly one per
+        #: chunk: ``(pairs, error, stats)``.  Folding a chunk's outcome into
+        #: a single event means the consumer can never observe its pairs
+        #: without also observing its error.
+        self.events: "Queue[tuple]" = Queue()
+        self.lock = threading.Lock()
+        self.done: set[int] = set()
+        self.finished = threading.Event()
+        self.connected = 0
+        self._stall_since: float | None = None
+        self.conns: set[socket.socket] = set()
+
+    # -- worker bookkeeping (called from handler threads) ------------------
+
+    def worker_joined(self, conn: socket.socket) -> None:
+        with self.lock:
+            self.connected += 1
+            self._stall_since = None
+            self.conns.add(conn)
+
+    def worker_left(self, conn: socket.socket) -> None:
+        with self.lock:
+            self.connected -= 1
+            self.conns.discard(conn)
+
+    # -- chunk lifecycle ---------------------------------------------------
+
+    def claim(self) -> Optional[Tuple[int, List[SimTask]]]:
+        """Next runnable chunk, or ``None`` once the sweep is finished."""
+        while not self.finished.is_set():
+            try:
+                chunk_id = self.pending.get(timeout=0.2)
+            except Empty:
+                continue
+            with self.lock:
+                if chunk_id in self.done:  # completed while queued (late dup)
+                    continue
+            return chunk_id, self.chunks[chunk_id]
+        return None
+
+    def requeue(self, chunk_id: int) -> None:
+        """Return a presumed-dead worker's chunk to the queue (if unfinished)."""
+        with self.lock:
+            if chunk_id in self.done or self.finished.is_set():
+                return
+        self.pending.put(chunk_id)
+
+    def complete(self, chunk_id: int, message: dict) -> None:
+        """Record one chunk result, deduplicating late duplicates.
+
+        The event is enqueued under the lock before the chunk joins
+        ``done``; the consumer counts consumed events rather than reading
+        ``done``, so completion can never race it into returning while a
+        chunk's outcome is still unqueued.
+        """
+        tasks = self.chunks[chunk_id]
+        with self.lock:
+            if chunk_id in self.done:
+                return
+            self.events.put(
+                (
+                    list(zip(tasks, message["results"])),
+                    message.get("error"),
+                    message.get("stats", {}),
+                )
+            )
+            self.done.add(chunk_id)
+
+    def check_stall(self, worker_wait: float, address: Tuple[str, int]) -> None:
+        """Raise when work is pending but no worker has been alive for a while."""
+        with self.lock:
+            if self.connected > 0 or len(self.done) >= len(self.chunks):
+                self._stall_since = None
+                return
+            now = time.monotonic()
+            if self._stall_since is None:
+                self._stall_since = now
+                return
+            if now - self._stall_since <= worker_wait:
+                return
+        host, port = address
+        raise EngineError(
+            f"socket backend: no live workers for {worker_wait:.0f}s with tasks "
+            f"pending; start workers with `repro worker --connect {host}:{port}`"
+        )
+
+
+class SocketBackend(ExecutionBackend):
+    """Coordinator side of the socket worker protocol.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` picks a free port (read
+        :attr:`address` after :meth:`bind`).
+    heartbeat_timeout:
+        Seconds of silence after which an in-flight worker is presumed dead
+        and its chunk requeued.
+    worker_wait:
+        Seconds to tolerate having pending work but zero connected workers
+        before giving up with :class:`EngineError`.
+    cache_root:
+        Shared trace-cache directory shipped to workers with every chunk.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        heartbeat_timeout: float = HEARTBEAT_TIMEOUT,
+        worker_wait: float = 60.0,
+        cache_root: str | None = None,
+    ) -> None:
+        super().__init__(cache_root)
+        self.host = host
+        self.port = port
+        self.heartbeat_timeout = heartbeat_timeout
+        self.worker_wait = worker_wait
+        self.listener: socket.socket | None = None
+        self.address: Tuple[str, int] | None = None
+        #: Workers that ever completed a handshake (for the CLI summary).
+        self.workers_seen = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bind(self) -> Tuple[str, int]:
+        """Start listening (idempotent); returns the bound ``(host, port)``."""
+        if self.listener is None:
+            self.listener = socket.create_server((self.host, self.port), backlog=32)
+            self.address = self.listener.getsockname()[:2]
+        return self.address
+
+    def submit_chunks(
+        self,
+        config: SystemConfig,
+        plan: RunPlan,
+        chunks: Sequence[List[SimTask]],
+    ) -> Iterator[Tuple[SimTask, SimResult]]:
+        self.bind()
+        state = _SweepState(chunks)
+        acceptor = threading.Thread(
+            target=self._accept_loop, args=(state, config, plan), daemon=True
+        )
+        acceptor.start()
+        try:
+            # Count consumed per-chunk events (each completed chunk queues
+            # exactly one) — never the done set, which a handler thread
+            # updates and could therefore race the final read.  A chunk's
+            # pairs, error and stats travel in one event, so a task error in
+            # the last chunk still raises after its siblings are yielded.
+            consumed = 0
+            while consumed < len(state.chunks):
+                try:
+                    pairs, error, stats = state.events.get(timeout=0.25)
+                except Empty:
+                    state.check_stall(self.worker_wait, self.address)
+                    continue
+                consumed += 1
+                self.record_stats(stats)
+                yield from pairs
+                if error is not None:
+                    raise error
+        finally:
+            state.finished.set()
+            listener, self.listener = self.listener, None
+            self.address = None
+            if listener is not None:
+                listener.close()
+            # Unblock any worker still attached (idle or mid-send); handlers
+            # swallow the resulting socket errors and exit.
+            with state.lock:
+                conns = list(state.conns)
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def _accept_loop(self, state: _SweepState, config, plan) -> None:
+        listener = self.listener
+        while not state.finished.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except OSError:  # listener closed: sweep over
+                return
+            threading.Thread(
+                target=self._serve_worker,
+                args=(conn, state, config, plan),
+                daemon=True,
+            ).start()
+
+    def _serve_worker(self, conn: socket.socket, state: _SweepState, config, plan) -> None:
+        """Drive one worker connection; requeue its chunk if it dies."""
+        conn.settimeout(self.heartbeat_timeout)
+        registered = False
+        current: int | None = None
+        try:
+            if recv_hello(conn) is None:
+                return  # not a (compatible) worker; drop the connection
+            state.worker_joined(conn)
+            registered = True
+            self.workers_seen += 1
+            while True:
+                msg = recv_msg(conn)
+                if msg is None:
+                    return
+                kind = msg.get("type")
+                if kind == "heartbeat":
+                    continue
+                if kind != "ready":
+                    return  # protocol violation: treat as dead
+                claimed = state.claim()
+                if claimed is None:
+                    send_msg(conn, {"type": "shutdown"})
+                    return
+                current, tasks = claimed
+                send_msg(
+                    conn,
+                    {
+                        "type": "chunk",
+                        "chunk_id": current,
+                        "tasks": tasks,
+                        "config": config,
+                        "plan": plan,
+                        "cache_root": self.cache_root,
+                    },
+                )
+                while True:
+                    msg = recv_msg(conn)  # heartbeat-bounded by settimeout
+                    if msg is None:
+                        return  # died mid-chunk; finally requeues
+                    kind = msg.get("type")
+                    if kind == "heartbeat":
+                        continue
+                    if kind == "result" and msg.get("chunk_id") == current:
+                        state.complete(current, msg)
+                        current = None
+                        break
+                    return  # protocol violation
+        except (OSError, EOFError, pickle.UnpicklingError, EngineError):
+            pass  # connection-level failure == worker death
+        finally:
+            if registered:
+                state.worker_left(conn)
+            if current is not None:
+                state.requeue(current)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def describe(self) -> str:
+        seen = self.workers_seen
+        return f"socket ({seen} worker{'s' if seen != 1 else ''} participated)"
+
+
+# -- worker -----------------------------------------------------------------
+
+
+def _connect_with_retry(host: str, port: int, timeout: float) -> socket.socket:
+    """Dial the coordinator, retrying until *timeout* (workers may start first)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise EngineError(
+                    f"worker could not reach coordinator at {host}:{port} "
+                    f"within {timeout:.0f}s"
+                ) from None
+            time.sleep(0.2)
+
+
+def _heartbeat_loop(
+    sock: socket.socket, lock: threading.Lock, stop: threading.Event, interval: float
+) -> None:
+    while not stop.wait(interval):
+        try:
+            with lock:
+                send_msg(sock, {"type": "heartbeat"})
+        except OSError:
+            return
+
+
+def _sendable_error(error: BaseException | None) -> BaseException | None:
+    """The chunk error, downgraded to EngineError if it cannot pickle."""
+    if error is None:
+        return None
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return EngineError(f"worker task failed: {error!r}")
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    heartbeat_interval: float = HEARTBEAT_INTERVAL,
+    connect_timeout: float = 30.0,
+    cache_root: str | None = None,
+    max_chunks: int | None = None,
+) -> int:
+    """Process task chunks from a coordinator until it says shutdown.
+
+    This is the body of ``repro worker --connect HOST:PORT``.  A heartbeat
+    thread pings the coordinator every *heartbeat_interval* seconds while a
+    chunk is simulating so long chunks are not mistaken for death.
+    *cache_root* overrides the coordinator-shipped trace-cache directory
+    (useful when workers mount it elsewhere); *max_chunks* bounds how many
+    chunks to process before exiting (mainly for tests).  Returns the number
+    of chunks completed.
+    """
+    sock = _connect_with_retry(host, port, connect_timeout)
+    sock.settimeout(None)
+    send_lock = threading.Lock()
+    completed = 0
+    try:
+        with send_lock:
+            send_hello(sock, f"{socket.gethostname()}:{os.getpid()}")
+        while max_chunks is None or completed < max_chunks:
+            with send_lock:
+                send_msg(sock, {"type": "ready"})
+            msg = recv_msg(sock)
+            if msg is None or msg.get("type") == "shutdown":
+                break
+            if msg.get("type") != "chunk":
+                raise EngineError(f"unexpected coordinator message {msg.get('type')!r}")
+            stop = threading.Event()
+            beat = threading.Thread(
+                target=_heartbeat_loop,
+                args=(sock, send_lock, stop, heartbeat_interval),
+                daemon=True,
+            )
+            beat.start()
+            try:
+                results, error, stats = execute_task_chunk(
+                    msg["config"],
+                    msg["plan"],
+                    msg["tasks"],
+                    cache_root if cache_root is not None else msg.get("cache_root"),
+                )
+            finally:
+                stop.set()
+                beat.join()
+            with send_lock:
+                send_msg(
+                    sock,
+                    {
+                        "type": "result",
+                        "chunk_id": msg["chunk_id"],
+                        "results": results,
+                        "error": _sendable_error(error),
+                        "stats": stats,
+                    },
+                )
+            completed += 1
+    except (OSError, EOFError):
+        pass  # coordinator went away; nothing more to do
+    finally:
+        sock.close()
+    return completed

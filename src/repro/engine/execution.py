@@ -1,0 +1,147 @@
+"""Task execution shared by every backend: trace provisioning + simulation.
+
+This module is the *leaf* of the engine's import graph — backends import it,
+:mod:`repro.engine.runner` re-exports it — so a backend never has to import
+the runner (and the runner can import backends) without a cycle.
+
+Trace provisioning is two-tiered:
+
+1. a per-process **memo** (``_trace_memo``) so a mix's 5+ scheme/CC tasks on
+   one worker generate traces once, and
+2. the shared on-disk :class:`~repro.workloads.trace_cache.TraceCache`
+   (optional, keyed identically) so *different* processes — pool workers,
+   ``repro worker`` processes on other machines, repeated CLI runs — skip
+   generation too.
+
+Both tiers are pure optimizations: generation is deterministic in the key,
+traces are immutable, and the disk tier is digest-verified, so results are
+bit-identical however a trace was obtained (the engine determinism suite
+runs all paths).
+
+Per-process counters record how traces were obtained; backends collect them
+chunk-by-chunk via the ``stats`` element of :func:`execute_task_chunk`'s
+return value and the runner aggregates them for the CLI summary line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..common.config import SystemConfig
+from ..core.cmp import SimResult
+from ..experiments.runner import RunPlan, run_traces
+from ..workloads.mixes import WorkloadMix
+from ..workloads.trace_cache import TraceCache, cached_mix_traces
+from .tasks import SimTask
+
+__all__ = [
+    "execute_task",
+    "execute_task_chunk",
+    "consume_trace_stats",
+]
+
+#: Per-process memo of generated mix traces, keyed by everything that feeds
+#: :func:`~repro.workloads.mixes.build_mix_traces` (the program tuple is in
+#: the key so two *custom* mixes sharing an id can never alias).  A mix's
+#: tasks land on the same worker via per-mix task chunks, so each worker
+#: obtains a mix's traces once instead of per task.
+_trace_memo: Dict[tuple, List] = {}
+
+#: Memo capacity; evicted FIFO.  Sized for a handful of in-flight mixes per
+#: worker — a worker only ever needs the mix it is currently simulating.
+_TRACE_MEMO_MAX = 4
+
+#: How the traces of each provisioning request were obtained (this process).
+#: ``cache_rejected`` counts corrupt/tampered disk entries that had to be
+#: regenerated — a nonzero value flags recurring cache corruption.
+_trace_stats = {"memo_hits": 0, "cache_hits": 0, "generated": 0, "cache_rejected": 0}
+
+
+def consume_trace_stats() -> Dict[str, int]:
+    """Return and reset this process's trace-provisioning counters."""
+    out = dict(_trace_stats)
+    for k in _trace_stats:
+        _trace_stats[k] = 0
+    return out
+
+
+def _mix_traces(
+    mix: WorkloadMix,
+    num_sets: int,
+    n_accesses: int,
+    seed: int,
+    cache_root: str | None = None,
+) -> List:
+    """A mix's traces: memo first, then the shared disk cache, then generate."""
+    key = (mix.mix_id, mix.programs, num_sets, n_accesses, seed)
+    traces = _trace_memo.get(key)
+    if traces is not None:
+        _trace_stats["memo_hits"] += 1
+        return traces
+    cache = TraceCache(cache_root) if cache_root else None
+    traces, source = cached_mix_traces(cache, mix, num_sets, n_accesses, seed)
+    _trace_stats["cache_hits" if source == "cache" else "generated"] += 1
+    if cache is not None:
+        _trace_stats["cache_rejected"] += cache.rejected
+    while len(_trace_memo) >= _TRACE_MEMO_MAX:
+        _trace_memo.pop(next(iter(_trace_memo)))
+    _trace_memo[key] = traces
+    return traces
+
+
+def execute_task(
+    config: SystemConfig,
+    plan: RunPlan,
+    task: SimTask,
+    cache_root: str | None = None,
+) -> SimResult:
+    """Run one task: obtain the mix's traces (memo/disk cache), simulate.
+
+    Module-level so worker processes can pickle it.  Trace provisioning is
+    deterministic in the key, so the produced
+    :class:`~repro.core.cmp.SimResult` is bit-identical whichever tier
+    served the traces (asserted by the engine determinism suite).
+    """
+    traces = _mix_traces(
+        task.mix, config.l2.num_sets, plan.n_accesses, plan.seed, cache_root
+    )
+    kwargs = {}
+    if task.cc_prob is not None:
+        kwargs["spill_probability"] = task.cc_prob
+    return run_traces(
+        task.scheme,
+        config,
+        traces,
+        plan.target_instructions,
+        plan.warmup_instructions,
+        **kwargs,
+    )
+
+
+def execute_task_chunk(
+    config: SystemConfig,
+    plan: RunPlan,
+    tasks: Sequence[SimTask],
+    cache_root: str | None = None,
+) -> tuple[List[SimResult], BaseException | None, Dict[str, int]]:
+    """Run a batch of tasks in one worker call (amortizes transport).
+
+    Chunks are built per mix, so every task after the first hits the trace
+    memo and a chunk ships one transport round-trip instead of one per task.
+    Returns ``(results, error, stats)``: the results of the tasks that
+    completed (in task order), the exception that stopped the batch if any —
+    so a failure mid-chunk does not discard its siblings' finished work (the
+    caller persists them before re-raising, preserving the per-task
+    store/resume granularity) — and this chunk's trace-provisioning
+    counters.
+    """
+    results: List[SimResult] = []
+    consume_trace_stats()  # isolate this chunk's counters
+    error: BaseException | None = None
+    for task in tasks:
+        try:
+            results.append(execute_task(config, plan, task, cache_root))
+        except BaseException as exc:  # re-raised by the caller
+            error = exc
+            break
+    return results, error, consume_trace_stats()

@@ -1,19 +1,22 @@
-"""``ParallelRunner`` — execute a sweep's tasks across worker processes.
+"""``ParallelRunner`` — the backend-agnostic core of the experiment engine.
 
-Execution and merging are strictly separated so the outcome cannot depend on
-scheduling: workers compute ``{task_id: SimResult}`` in whatever order the
-pool finishes, then the merge walks mixes and schemes in their *request*
-order, re-applying the serial CC(Best) selection rule.  Combined with
-per-task deterministic seeding (package docstring) this makes the merged
+The runner owns everything that defines a sweep's *outcome*: task
+expansion, duplicate-mix validation, store persistence and resume, and the
+request-order merge (with the serial CC(Best) selection rule re-applied).
+*How* tasks execute is delegated to an
+:class:`~repro.engine.backends.base.ExecutionBackend` — in-process, local
+process pool, or socket workers — which only transports chunks and streams
+back ``(task, result)`` pairs.  Combined with per-task deterministic
+seeding (package docstring) this makes the merged
 :class:`~repro.experiments.runner.ComboResult` list bit-identical to the
-serial :func:`~repro.experiments.runner.run_combo` output for any worker
-count.
+serial :func:`~repro.experiments.runner.run_combo` output on any backend,
+for any worker count.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import math
 from typing import Dict, List, Sequence
 
 from ..common.config import SystemConfig
@@ -23,86 +26,20 @@ from ..experiments.runner import (
     DEFAULT_SCHEMES,
     ComboResult,
     RunPlan,
+    merge_task_results,
     normalize_schemes,
-    run_traces,
-    select_cc_best,
 )
-from ..workloads.mixes import WorkloadMix, build_mix_traces
+from ..workloads.mixes import WorkloadMix
+from .backends import ExecutionBackend, InlineBackend, ProcessPoolBackend, make_backend
+from .execution import execute_task, execute_task_chunk  # re-export (compat)
 from .store import ResultStore
 from .tasks import SimTask, expand_mix_tasks
 
 __all__ = ["ParallelRunner", "execute_task", "execute_task_chunk", "DEFAULT_SCHEMES"]
 
-#: Per-process memo of generated mix traces, keyed by everything that feeds
-#: :func:`~repro.workloads.mixes.build_mix_traces` (the program tuple is in
-#: the key so two *custom* mixes sharing an id can never alias).  A mix's
-#: 5+ scheme/CC-probability tasks land on the same worker via per-mix task
-#: chunks, so each worker generates a mix's traces once instead of per task.
-#: Traces are immutable value objects and the timing core never mutates its
-#: input arrays, so sharing is safe.
-_trace_memo: Dict[tuple, List] = {}
-
-#: Memo capacity; evicted FIFO.  Sized for a handful of in-flight mixes per
-#: worker — a worker only ever needs the mix it is currently simulating.
-_TRACE_MEMO_MAX = 4
-
-
-def _mix_traces(mix: WorkloadMix, num_sets: int, n_accesses: int, seed: int) -> List:
-    key = (mix.mix_id, mix.programs, num_sets, n_accesses, seed)
-    traces = _trace_memo.get(key)
-    if traces is None:
-        traces = build_mix_traces(mix, num_sets, n_accesses, seed)
-        while len(_trace_memo) >= _TRACE_MEMO_MAX:
-            _trace_memo.pop(next(iter(_trace_memo)))
-        _trace_memo[key] = traces
-    return traces
-
-
-def execute_task(config: SystemConfig, plan: RunPlan, task: SimTask) -> SimResult:
-    """Run one task: obtain the mix's traces (memoized per process), simulate.
-
-    Module-level so the process pool can pickle it.  Trace generation is
-    deterministic in the memo key, so a memo hit returns value-identical
-    traces and the produced :class:`SimResult` is bit-identical either way
-    (asserted by the engine determinism suite).
-    """
-    traces = _mix_traces(task.mix, config.l2.num_sets, plan.n_accesses, plan.seed)
-    kwargs = {}
-    if task.cc_prob is not None:
-        kwargs["spill_probability"] = task.cc_prob
-    return run_traces(
-        task.scheme,
-        config,
-        traces,
-        plan.target_instructions,
-        plan.warmup_instructions,
-        **kwargs,
-    )
-
-
-def execute_task_chunk(
-    config: SystemConfig, plan: RunPlan, tasks: Sequence[SimTask]
-) -> tuple[List[SimResult], BaseException | None]:
-    """Run a batch of tasks in one worker call (amortizes pool IPC).
-
-    Chunks are built per mix, so every task after the first hits the trace
-    memo and a chunk ships one pickle round-trip instead of one per task.
-    Returns the results of the tasks that completed (in task order) plus the
-    exception that stopped the batch, if any — so a failure mid-chunk does
-    not discard its siblings' finished work (the caller persists them before
-    re-raising, preserving the per-task store/resume granularity).
-    """
-    results: List[SimResult] = []
-    for task in tasks:
-        try:
-            results.append(execute_task(config, plan, task))
-        except BaseException as exc:  # re-raised by the caller
-            return results, exc
-    return results, None
-
 
 class ParallelRunner:
-    """Fan a sweep's (mix × scheme × CC-probability) grid over processes.
+    """Fan a sweep's (mix × scheme × CC-probability) grid over a backend.
 
     Parameters
     ----------
@@ -113,13 +50,23 @@ class ParallelRunner:
         Scheme names as the CLI/serial runner accept them (``"cc_best"``
         triggers the probability sweep).
     jobs:
-        Worker process count; ``0`` executes tasks inline in this process
-        (no pool — handy for tests and already-parallel callers).
+        Parallelism: sizes the default process-pool backend (``0`` selects
+        the inline backend) and hints the chunk splitter.  With an explicit
+        *backend* it only keeps its chunk-splitting role.
+    backend:
+        An :class:`ExecutionBackend` instance, a registry name
+        (``"inline"``/``"process"``/``"socket"``), or ``None`` to derive
+        one from *jobs* (the classic behaviour).
     store:
         Optional directory for the on-disk JSON result store.
     resume:
         Skip tasks whose results are already in the store (requires
         *store*).
+    trace_cache:
+        Shared on-disk trace-cache directory handed to the backend (see
+        :mod:`repro.workloads.trace_cache`); ``None`` keeps the per-process
+        memo only.  Ignored when *backend* is passed as an instance (the
+        instance already carries its cache root).
     """
 
     def __init__(
@@ -131,6 +78,8 @@ class ParallelRunner:
         jobs: int = 1,
         store: str | None = None,
         resume: bool = False,
+        backend: ExecutionBackend | str | None = None,
+        trace_cache: str | None = None,
     ) -> None:
         if jobs < 0:
             raise EngineError("jobs must be >= 0 (0 = run tasks in-process)")
@@ -140,12 +89,24 @@ class ParallelRunner:
         self.plan = plan
         self.schemes = list(schemes)
         self.jobs = jobs
+        if backend is None:
+            backend = (
+                InlineBackend(trace_cache)
+                if jobs == 0
+                else ProcessPoolBackend(jobs, trace_cache)
+            )
+        elif isinstance(backend, str):
+            backend = make_backend(backend, jobs=jobs, cache_root=trace_cache)
+        self.backend: ExecutionBackend = backend
         self.store = ResultStore(store) if store is not None else None
         self.resume = resume
-        # Filled by run() for reporting (CLI progress line, resume tests).
+        # Filled by run() for reporting (CLI summary line, resume tests).
         self.tasks_total = 0
         self.tasks_resumed = 0
         self.tasks_run = 0
+        #: Trace-provisioning counters aggregated across the backend's
+        #: workers: ``memo_hits`` / ``cache_hits`` / ``generated``.
+        self.trace_stats: Dict[str, int] = dict(self.backend.stats)
 
     # -- manifest ----------------------------------------------------------
 
@@ -204,13 +165,18 @@ class ParallelRunner:
 
         pending = [t for t in tasks if t.task_id not in results]
         self.tasks_run = len(pending)
-        for task, result in self._execute(pending):
-            if self.store is not None:
-                self.store.save(
-                    task.task_id,
-                    {"task": dataclasses.asdict(task), "result": result.to_dict()},
-                )
-            results[task.task_id] = result
+        if pending:
+            chunks = self._chunk(pending)
+            for task, result in self.backend.submit_chunks(
+                self.config, self.plan, chunks
+            ):
+                if self.store is not None:
+                    self.store.save(
+                        task.task_id,
+                        {"task": dataclasses.asdict(task), "result": result.to_dict()},
+                    )
+                results[task.task_id] = result
+        self.trace_stats = dict(self.backend.stats)
 
         return [
             self._merge_mix(mix, group, results)
@@ -218,12 +184,16 @@ class ParallelRunner:
         ]
 
     def _chunk(self, pending: Sequence[SimTask]) -> List[List[SimTask]]:
-        """Group pending tasks into per-mix chunks for pool submission.
+        """Group pending tasks into contiguous same-mix chunks for the backend.
 
-        One chunk per mix keeps a mix's tasks on one worker (trace-memo hits)
-        and cuts pool IPC to one round-trip per mix.  When that would leave
-        workers idle — fewer mixes than workers — fall back to single-task
-        chunks so parallelism wins over memo locality.
+        One chunk per mix keeps a mix's tasks on one worker (trace-memo
+        hits) and cuts transport to one round-trip per mix.  When that would
+        leave workers idle — fewer mixes than the parallelism hint — each
+        mix's chunk is split into at most ``ceil(len/jobs)``-sized
+        *contiguous* sub-chunks instead of degrading to single-task chunks,
+        so parallelism and memo locality coexist: every sub-chunk still
+        generates (or loads) its mix's traces once and amortizes them over
+        its tasks.
         """
         chunks: List[List[SimTask]] = []
         for task in pending:
@@ -231,29 +201,14 @@ class ParallelRunner:
                 chunks[-1].append(task)
             else:
                 chunks.append([task])
-        if len(chunks) < self.jobs:
-            return [[task] for task in pending]
-        return chunks
-
-    def _execute(self, pending: Sequence[SimTask]):
-        """Yield ``(task, result)`` pairs, in-process or via the pool."""
-        if not pending:
-            return
-        if self.jobs == 0:
-            for task in pending:
-                yield task, execute_task(self.config, self.plan, task)
-            return
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {
-                pool.submit(execute_task_chunk, self.config, self.plan, chunk): chunk
-                for chunk in self._chunk(pending)
-            }
-            for future in as_completed(futures):
-                results, error = future.result()
-                for task, result in zip(futures[future], results):
-                    yield task, result
-                if error is not None:
-                    raise error
+        hint = self.jobs
+        if hint <= 1 or len(chunks) >= hint:
+            return chunks
+        split: List[List[SimTask]] = []
+        for chunk in chunks:
+            size = math.ceil(len(chunk) / hint)
+            split.extend(chunk[i : i + size] for i in range(0, len(chunk), size))
+        return split
 
     # -- merging -----------------------------------------------------------
 
@@ -264,29 +219,4 @@ class ParallelRunner:
         results: Dict[str, SimResult],
     ) -> ComboResult:
         """Assemble one mix's ComboResult in request order (scheduling-free)."""
-        # Plain (non-CC-sweep) tasks by scheme name; ids come from the tasks
-        # themselves so the task_id format lives only in SimTask.
-        plain = {t.scheme: t for t in mix_tasks if t.cc_prob is None}
-        merged: Dict[str, SimResult] = {}
-        cc_best_prob: float | None = None
-        cc_pairs = [
-            (t.cc_prob, results[t.task_id])
-            for t in mix_tasks
-            if t.scheme == "cc" and t.cc_prob is not None
-        ]
-        for name in normalize_schemes(self.schemes):
-            if name == "cc_best":
-                best, cc_best_prob = select_cc_best(cc_pairs)
-                merged["cc_best"] = best
-            else:
-                if name not in plain:  # pragma: no cover - defensive
-                    raise EngineError(f"missing task for scheme {name!r} during merge")
-                merged[name] = results[plain[name].task_id]
-        combo = ComboResult(
-            mix_id=mix.mix_id,
-            mix_class=mix.mix_class,
-            results=merged,
-            cc_best_prob=cc_best_prob,
-        )
-        combo.compute_metrics()
-        return combo
+        return merge_task_results(mix, mix_tasks, results, self.schemes)

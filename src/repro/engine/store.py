@@ -55,7 +55,14 @@ class ResultStore:
         stamped = json.loads(json.dumps(stamped))
         self.results_dir.mkdir(parents=True, exist_ok=True)
         if self.manifest_path.exists():
-            existing = json.loads(self.manifest_path.read_text())
+            try:
+                existing = json.loads(self.manifest_path.read_text())
+            except (json.JSONDecodeError, OSError) as exc:
+                raise EngineError(
+                    f"unreadable store manifest {self.manifest_path}: {exc}; "
+                    "the store directory is damaged — delete it (or point at a "
+                    "fresh one) and re-run"
+                ) from None
             if existing != stamped:
                 raise EngineError(
                     f"result store {self.root} was created with a different "
@@ -78,11 +85,23 @@ class ResultStore:
         _atomic_write_json(self.results_dir / f"{task_id}.json", payload)
 
     def load(self, task_id: str) -> dict:
-        """Load one finished task; raises :class:`EngineError` if absent/corrupt."""
+        """Load one finished task; raises :class:`EngineError` if absent/corrupt.
+
+        Truncated or otherwise unparsable task JSON gets an actionable
+        message instead of a bare ``json.JSONDecodeError``: results written
+        before the store used atomic renames (or copied over a flaky
+        transport) can be torn mid-file, and the fix — delete that file,
+        re-run with ``--resume`` — should not require reading the engine
+        source.
+        """
         path = self.results_dir / f"{task_id}.json"
         try:
             return json.loads(path.read_text())
         except FileNotFoundError:
             raise EngineError(f"no stored result for task {task_id!r} in {self.root}") from None
         except json.JSONDecodeError as exc:
-            raise EngineError(f"corrupt stored result {path}: {exc}") from None
+            raise EngineError(
+                f"stored result for task {task_id!r} is corrupt: {path} ({exc}); "
+                f"likely truncated by a killed writer — delete that file and "
+                f"re-run with --resume to recompute just the missing task"
+            ) from None

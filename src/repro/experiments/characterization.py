@@ -21,7 +21,8 @@ from typing import Dict, List
 from ..analysis.demand import DemandDistribution, bucket_bounds, characterize_trace
 from ..analysis.report import render_distribution, render_table
 from ..engine.pool import parallel_map
-from ..workloads.spec2000 import benchmark_names, make_benchmark_trace
+from ..workloads.spec2000 import benchmark_names
+from ..workloads.trace_cache import TraceCache, cached_benchmark_trace, resolve_cache_root
 
 __all__ = ["figure_distribution", "SurveyRow", "survey_26", "render_survey"]
 
@@ -35,14 +36,22 @@ def figure_distribution(
     a_threshold: int = 32,
     m: int = 8,
     seed: int = 0,
+    trace_cache: str | None = None,
 ) -> DemandDistribution:
     """Characterize one benchmark (Figures 1–3 use ammp / vortex / applu).
 
     Paper-parity parameters are ``num_sets=1024``, ``intervals=1000``,
     ``interval_accesses=100_000``; the defaults are a proportional scale-down.
+
+    The reference stream comes through the shared on-disk trace cache
+    (*trace_cache* or ``$REPRO_TRACE_CACHE``) when one is configured — the
+    same digest-verified entries the simulation engine uses, so a sweep and
+    its characterization generate each trace once between them.
     """
-    trace = make_benchmark_trace(
-        benchmark, num_sets, intervals * interval_accesses, seed=seed
+    root = resolve_cache_root(trace_cache)
+    cache = TraceCache(root) if root else None
+    trace, _source = cached_benchmark_trace(
+        cache, benchmark, num_sets, intervals * interval_accesses, seed
     )
     return characterize_trace(
         trace,
@@ -83,6 +92,7 @@ def _survey_one(
     interval_accesses: int,
     seed: int,
     threshold: float,
+    trace_cache: str | None = None,
 ) -> SurveyRow:
     """One program's survey row (module-level so worker processes can run it)."""
     dist = figure_distribution(
@@ -91,6 +101,7 @@ def _survey_one(
         intervals=intervals,
         interval_accesses=interval_accesses,
         seed=seed,
+        trace_cache=trace_cache,
     )
     return SurveyRow(
         benchmark=name,
@@ -109,17 +120,20 @@ def survey_26(
     seed: int = 0,
     threshold: float = 0.08,
     jobs: int = 0,
+    trace_cache: str | None = None,
 ) -> List[SurveyRow]:
     """Characterize all 26 programs and classify their non-uniformity.
 
     ``jobs >= 1`` fans the programs across that many worker processes via
     :func:`~repro.engine.pool.parallel_map`; rows are returned in benchmark
     order either way, so the output is identical to the serial run.
+    *trace_cache* (default ``$REPRO_TRACE_CACHE``) lets the workers share
+    generated reference streams on disk.
     """
     return parallel_map(
         _survey_one,
         [
-            (name, num_sets, intervals, interval_accesses, seed, threshold)
+            (name, num_sets, intervals, interval_accesses, seed, threshold, trace_cache)
             for name in benchmark_names()
         ],
         jobs=jobs,

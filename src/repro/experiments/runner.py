@@ -18,9 +18,10 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..analysis.metrics import average_weighted_speedup, fair_speedup, normalized_throughput
 from ..common.config import SystemConfig
+from ..common.errors import EngineError
 from ..core.cmp import CmpSystem, SimResult
 from ..schemes.factory import make_scheme
-from ..workloads.mixes import WorkloadMix, build_mix_traces
+from ..workloads.mixes import WorkloadMix
 from ..workloads.trace import Trace
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "run_cc_best",
     "run_combo",
     "select_cc_best",
+    "merge_task_results",
     "normalize_schemes",
     "CC_PROBS_FULL",
     "CC_PROBS_FAST",
@@ -146,6 +148,47 @@ def run_cc_best(
     )
 
 
+def merge_task_results(
+    mix: WorkloadMix,
+    mix_tasks: Sequence,
+    results: Dict[str, SimResult],
+    schemes: Sequence[str],
+) -> ComboResult:
+    """Assemble one mix's :class:`ComboResult` from per-task results.
+
+    *mix_tasks* are the mix's expanded :class:`~repro.engine.tasks.SimTask`
+    objects and *results* maps ``task_id`` to the finished
+    :class:`SimResult`.  The walk follows the *request* order of *schemes*
+    and re-applies :func:`select_cc_best` over the per-probability CC
+    results, so the assembly is independent of execution order and shared
+    verbatim by the serial path and every engine backend.
+    """
+    plain = {t.scheme: t for t in mix_tasks if t.cc_prob is None}
+    merged: Dict[str, SimResult] = {}
+    cc_best_prob: float | None = None
+    cc_pairs = [
+        (t.cc_prob, results[t.task_id])
+        for t in mix_tasks
+        if t.scheme == "cc" and t.cc_prob is not None
+    ]
+    for name in normalize_schemes(schemes):
+        if name == "cc_best":
+            best, cc_best_prob = select_cc_best(cc_pairs)
+            merged["cc_best"] = best
+        else:
+            if name not in plain:  # pragma: no cover - defensive
+                raise EngineError(f"missing task for scheme {name!r} during merge")
+            merged[name] = results[plain[name].task_id]
+    combo = ComboResult(
+        mix_id=mix.mix_id,
+        mix_class=mix.mix_class,
+        results=merged,
+        cc_best_prob=cc_best_prob,
+    )
+    combo.compute_metrics()
+    return combo
+
+
 def run_combo(
     mix: WorkloadMix,
     config: SystemConfig,
@@ -156,29 +199,26 @@ def run_combo(
 
     ``"cc_best"`` triggers the spill-probability sweep; any other name is
     instantiated directly.  The L2P baseline is always run (metrics need it).
+
+    Since the backend refactor this is the engine's inline path in
+    miniature: the mix expands into tasks, executes through
+    :class:`~repro.engine.backends.inline.InlineBackend` (one chunk, so the
+    mix's traces are provisioned once) and merges via
+    :func:`merge_task_results` — one code path whether a combination runs
+    serially or fanned out across processes or machines.
     """
-    traces = build_mix_traces(mix, config.l2.num_sets, plan.n_accesses, plan.seed)
+    # Imported here, not at module level: the engine imports this module
+    # (RunPlan, run_traces, merge_task_results), so the reverse edge must
+    # stay out of import time.
+    from ..engine.backends.inline import InlineBackend
+    from ..engine.tasks import expand_mix_tasks
+    from ..workloads.trace_cache import resolve_cache_root
+
+    # $REPRO_TRACE_CACHE applies here too — the serial path consults the
+    # same shared trace cache as every engine backend.
+    backend = InlineBackend(resolve_cache_root(None))
+    tasks = expand_mix_tasks(mix, schemes, plan.cc_probs)
     results: Dict[str, SimResult] = {}
-    cc_best_prob: float | None = None
-
-    for name in normalize_schemes(schemes):
-        if name == "cc_best":
-            res, cc_best_prob = run_cc_best(
-                config, traces, plan.target_instructions, plan.cc_probs,
-                plan.warmup_instructions,
-            )
-            results["cc_best"] = res
-        else:
-            results[name] = run_traces(
-                name, config, traces, plan.target_instructions,
-                plan.warmup_instructions,
-            )
-
-    combo = ComboResult(
-        mix_id=mix.mix_id,
-        mix_class=mix.mix_class,
-        results=results,
-        cc_best_prob=cc_best_prob,
-    )
-    combo.compute_metrics()
-    return combo
+    for task, result in backend.submit_chunks(config, plan, [tasks]):
+        results[task.task_id] = result
+    return merge_task_results(mix, tasks, results, schemes)

@@ -14,6 +14,14 @@ from .spec2000 import (
 )
 from .synthetic import Band, Phase, WorkloadSpec, draw_demand_map, generate_trace
 from .trace import Trace
+from .trace_cache import (
+    TraceCache,
+    benchmark_key,
+    cached_benchmark_trace,
+    cached_mix_traces,
+    mix_key,
+    resolve_cache_root,
+)
 
 __all__ = [
     "MIXES",
@@ -37,4 +45,10 @@ __all__ = [
     "draw_demand_map",
     "generate_trace",
     "Trace",
+    "TraceCache",
+    "benchmark_key",
+    "cached_benchmark_trace",
+    "cached_mix_traces",
+    "mix_key",
+    "resolve_cache_root",
 ]

@@ -1,0 +1,259 @@
+"""Shared on-disk cache of generated traces.
+
+Trace generation is deterministic in ``(kind, programs, num_sets,
+n_accesses, seed)`` — the exact inputs of
+:func:`~repro.workloads.mixes.build_mix_traces` and
+:func:`~repro.workloads.spec2000.make_benchmark_trace` — so a generated
+trace set can be reused by *any* process that derives the same key: engine
+workers on this machine, ``repro worker`` processes on another one, or the
+Section 2 characterization pipeline.  This module is that reuse layer; the
+engine's per-process memo (:mod:`repro.engine.execution`) sits on top of it
+as the in-memory tier.
+
+Design points
+-------------
+* **Keyed by content inputs, verified by content digest.**  The file name
+  embeds a hash of the full key; the payload embeds the key itself plus a
+  SHA-256 digest over the canonical array bytes.  A load recomputes the
+  digest — a mismatch (torn write survived a crash before the atomic
+  rename existed, disk corruption, hand-edited file) is treated as a miss
+  and the entry is regenerated, never trusted.
+* **Atomic publication.**  Writers serialize to a uniquely-named temp file
+  in the cache directory and ``os.replace`` it into place, so readers only
+  ever see complete entries.  Concurrent writers of the same key are safe:
+  generation is deterministic, so whichever replace lands last publishes
+  identical bytes.
+* **npz storage.**  Each entry is one uncompressed ``.npz`` holding the
+  ``gaps/addrs/writes`` columns of every trace in the set plus a JSON
+  metadata record (key echo, trace names, digest).
+
+``REPRO_TRACE_CACHE`` names the default cache directory;
+:func:`resolve_cache_root` applies it when no explicit directory is given.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .mixes import WorkloadMix, build_mix_traces
+from .spec2000 import make_benchmark_trace
+from .trace import Trace
+
+__all__ = [
+    "TraceCache",
+    "TraceKey",
+    "mix_key",
+    "benchmark_key",
+    "resolve_cache_root",
+    "cached_mix_traces",
+    "cached_benchmark_trace",
+]
+
+#: Environment variable naming the default cache directory.
+ENV_CACHE_DIR = "REPRO_TRACE_CACHE"
+
+#: Bumped when the entry layout changes incompatibly (old entries are
+#: simply treated as misses — the cache is always safe to delete).
+CACHE_FORMAT = 1
+
+#: ``(kind, programs, num_sets, n_accesses, seed)`` — everything trace
+#: generation depends on.  ``kind`` namespaces the generator:
+#: ``"mix-<mix_id>"`` for four-program combinations, ``"bench-<name>"``
+#: for single characterization traces.
+TraceKey = Tuple[str, Tuple[str, ...], int, int, int]
+
+
+def resolve_cache_root(explicit: str | os.PathLike | None = None) -> str | None:
+    """The cache directory to use: *explicit* wins, else ``$REPRO_TRACE_CACHE``."""
+    if explicit is not None:
+        return os.fspath(explicit)
+    env = os.environ.get(ENV_CACHE_DIR, "").strip()
+    return env or None
+
+
+def mix_key(mix: WorkloadMix, num_sets: int, n_accesses: int, seed: int) -> TraceKey:
+    """Cache key for :func:`~repro.workloads.mixes.build_mix_traces`."""
+    return (f"mix-{mix.mix_id}", tuple(mix.programs), num_sets, n_accesses, seed)
+
+
+def benchmark_key(name: str, num_sets: int, n_accesses: int, seed: int) -> TraceKey:
+    """Cache key for :func:`~repro.workloads.spec2000.make_benchmark_trace`."""
+    return (f"bench-{name}", (name,), num_sets, n_accesses, seed)
+
+
+def _key_meta(key: TraceKey) -> dict:
+    kind, programs, num_sets, n_accesses, seed = key
+    return {
+        "kind": kind,
+        "programs": list(programs),
+        "num_sets": num_sets,
+        "n_accesses": n_accesses,
+        "seed": seed,
+    }
+
+
+def _content_digest(traces: Sequence[Trace]) -> str:
+    """SHA-256 over the canonical bytes of every trace column.
+
+    Column dtypes are pinned by :class:`~repro.workloads.trace.Trace`
+    (int64/int64/bool) and lengths are framed into the hash, so the digest
+    is unambiguous across trace counts and lengths.
+    """
+    h = hashlib.sha256()
+    h.update(f"v{CACHE_FORMAT}:{len(traces)}".encode())
+    for trace in traces:
+        for arr in (trace.gaps, trace.addrs, trace.writes):
+            h.update(f":{arr.dtype.str}:{len(arr)}:".encode())
+            h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+class TraceCache:
+    """Directory of digest-verified, atomically-written trace sets.
+
+    Instances are cheap (a path plus counters) — engine workers construct
+    one per provisioning request from the shipped cache root.  ``hits``/
+    ``misses``/``rejected``/``stores`` count this instance's traffic;
+    the engine folds ``rejected`` into its per-chunk trace stats (as
+    ``cache_rejected``) so recurring cache corruption surfaces in the CLI
+    execution summary.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        #: Entries discarded on load (digest/key mismatch, unreadable file).
+        self.rejected = 0
+        self.stores = 0
+
+    # -- paths -------------------------------------------------------------
+
+    def path_for(self, key: TraceKey) -> Path:
+        kind, _, num_sets, n_accesses, seed = key
+        tag = hashlib.sha256(
+            json.dumps(_key_meta(key), sort_keys=True).encode()
+        ).hexdigest()[:12]
+        safe_kind = "".join(c if c.isalnum() or c in "-_" else "_" for c in kind)
+        return self.root / (
+            f"{safe_kind}__{num_sets}s__{n_accesses}a__seed{seed}__{tag}.npz"
+        )
+
+    # -- load / store ------------------------------------------------------
+
+    def load(self, key: TraceKey) -> Optional[List[Trace]]:
+        """The cached trace set for *key*, or ``None`` on miss.
+
+        Unreadable or tampered entries (bad zip, wrong key echo, digest
+        mismatch) count as ``rejected`` misses — callers regenerate and
+        overwrite them.
+        """
+        path = self.path_for(key)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                meta = json.loads(str(payload["meta"]))
+                if meta.get("format") != CACHE_FORMAT or meta.get("key") != _key_meta(key):
+                    raise ValueError("cache entry does not match its key")
+                names = meta["names"]
+                traces = [
+                    Trace(
+                        gaps=payload[f"gaps_{i}"],
+                        addrs=payload[f"addrs_{i}"],
+                        writes=payload[f"writes_{i}"],
+                        name=names[i],
+                    )
+                    for i in range(meta["n_traces"])
+                ]
+                if _content_digest(traces) != meta["digest"]:
+                    raise ValueError("content digest mismatch")
+        except Exception:
+            # Corrupt/stale entries are regenerated, never trusted or kept.
+            self.rejected += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return traces
+
+    def store(self, key: TraceKey, traces: Sequence[Trace]) -> Path:
+        """Persist *traces* under *key* atomically; returns the entry path."""
+        path = self.path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "format": CACHE_FORMAT,
+            "key": _key_meta(key),
+            "n_traces": len(traces),
+            "names": [t.name for t in traces],
+            "digest": _content_digest(traces),
+        }
+        arrays = {"meta": np.array(json.dumps(meta, sort_keys=True))}
+        for i, trace in enumerate(traces):
+            arrays[f"gaps_{i}"] = trace.gaps
+            arrays[f"addrs_{i}"] = trace.addrs
+            arrays[f"writes_{i}"] = trace.writes
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            # Stream the archive straight into the temp file: paper-scale
+            # trace sets run to hundreds of MB, so buffering the whole npz
+            # in memory first would double the peak footprint per worker.
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.stores += 1
+        return path
+
+
+def cached_mix_traces(
+    cache: TraceCache | None,
+    mix: WorkloadMix,
+    num_sets: int,
+    n_accesses: int,
+    seed: int,
+) -> Tuple[List[Trace], str]:
+    """A mix's traces through the cache; returns ``(traces, source)``.
+
+    ``source`` is ``"cache"`` or ``"generated"`` — the engine feeds it into
+    its per-run trace counters.  With ``cache=None`` this is exactly
+    :func:`~repro.workloads.mixes.build_mix_traces`.
+    """
+    if cache is None:
+        return build_mix_traces(mix, num_sets, n_accesses, seed), "generated"
+    key = mix_key(mix, num_sets, n_accesses, seed)
+    traces = cache.load(key)
+    if traces is not None:
+        return traces, "cache"
+    traces = build_mix_traces(mix, num_sets, n_accesses, seed)
+    cache.store(key, traces)
+    return traces, "generated"
+
+
+def cached_benchmark_trace(
+    cache: TraceCache | None,
+    name: str,
+    num_sets: int,
+    n_accesses: int,
+    seed: int,
+) -> Tuple[Trace, str]:
+    """One benchmark's trace through the cache (characterization pipeline)."""
+    if cache is None:
+        return make_benchmark_trace(name, num_sets, n_accesses, seed), "generated"
+    key = benchmark_key(name, num_sets, n_accesses, seed)
+    cached = cache.load(key)
+    if cached is not None:
+        return cached[0], "cache"
+    trace = make_benchmark_trace(name, num_sets, n_accesses, seed)
+    cache.store(key, [trace])
+    return trace, "generated"

@@ -1,0 +1,305 @@
+"""Backend-conformance suite: every execution backend, one contract.
+
+Each registered backend (inline, process pool, socket) must merge to
+``ComboResult`` s **byte-identical** to the serial ``run_combo`` output —
+including when resuming a partially-completed store — and the socket
+backend must additionally survive a worker dying mid-chunk without losing
+or duplicating a task.  A new backend added to
+``repro.engine.backends.BACKENDS`` gets held to the same bar by adding one
+factory here.
+"""
+
+from __future__ import annotations
+
+import json
+import socket as socketlib
+import threading
+
+import pytest
+
+from repro.common.config import tiny_config
+from repro.common.errors import EngineError
+from repro.engine import ParallelRunner
+from repro.engine.backends import (
+    BACKENDS,
+    InlineBackend,
+    ProcessPoolBackend,
+    SocketBackend,
+    make_backend,
+    run_worker,
+)
+from repro.engine.backends.socket import (
+    PROTOCOL_VERSION,
+    recv_msg,
+    send_hello,
+    send_msg,
+)
+from repro.experiments.runner import RunPlan, run_combo
+from repro.workloads.mixes import get_mix
+
+MIXES = [get_mix("c5_0"), get_mix("c5_1")]
+
+
+def small_plan() -> RunPlan:
+    return RunPlan(
+        n_accesses=1_500,
+        target_instructions=25_000,
+        warmup_instructions=15_000,
+        seed=5,
+        cc_probs=(0.0, 1.0),
+    )
+
+
+def fingerprint(combo) -> str:
+    return json.dumps(
+        {
+            "mix_id": combo.mix_id,
+            "mix_class": combo.mix_class,
+            "cc_best_prob": combo.cc_best_prob,
+            "metrics": combo.metrics,
+            "results": {name: res.to_dict() for name, res in combo.results.items()},
+        },
+        sort_keys=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_fingerprints() -> list:
+    config, plan = tiny_config(seed=7), small_plan()
+    return [fingerprint(run_combo(m, config, plan)) for m in MIXES]
+
+
+class _SocketHarness:
+    """A bound SocketBackend plus worker threads that tear down with it."""
+
+    def __init__(self, n_workers: int = 2) -> None:
+        self.backend = SocketBackend(heartbeat_timeout=15.0, worker_wait=30.0)
+        host, port = self.backend.bind()
+        self.threads = [
+            threading.Thread(target=run_worker, args=(host, port), daemon=True)
+            for _ in range(n_workers)
+        ]
+        for t in self.threads:
+            t.start()
+
+    def join(self) -> None:
+        for t in self.threads:
+            t.join(timeout=15)
+        assert not any(t.is_alive() for t in self.threads), "worker failed to shut down"
+
+
+def _run(backend_kind: str, *, store=None, resume=False):
+    """Build a runner for *backend_kind* plus an optional teardown callable."""
+    config, plan = tiny_config(seed=7), small_plan()
+    if backend_kind == "socket":
+        harness = _SocketHarness()
+        runner = ParallelRunner(
+            config, plan, jobs=2, store=store, resume=resume, backend=harness.backend
+        )
+        return runner, harness.join
+    if backend_kind == "process":
+        backend = ProcessPoolBackend(2)
+    else:
+        backend = InlineBackend()
+    runner = ParallelRunner(
+        config, plan, jobs=2, store=store, resume=resume, backend=backend
+    )
+    return runner, lambda: None
+
+
+BACKEND_KINDS = ["inline", "process", "socket"]
+
+
+class TestConformance:
+    def test_all_backends_registered(self):
+        assert set(BACKEND_KINDS) == set(BACKENDS)
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_merge_bit_identical_to_serial(self, kind, serial_fingerprints):
+        runner, teardown = _run(kind)
+        combos = runner.run(MIXES)
+        teardown()
+        assert [fingerprint(c) for c in combos] == serial_fingerprints
+        assert runner.tasks_total == 12  # 2 mixes x (l2p, l2s, 2x cc, dsr, snug)
+        assert runner.backend.name == kind
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_resume_mid_sweep_bit_identical(self, kind, tmp_path, serial_fingerprints):
+        """Drop two finished tasks from a completed store; resuming on every
+        backend recomputes exactly those and merges identically."""
+        store = str(tmp_path / "store")
+        config, plan = tiny_config(seed=7), small_plan()
+        first = ParallelRunner(config, plan, jobs=0, store=store)
+        first.run(MIXES)
+        for task_id in ("c5_0__l2s", "c5_1__cc__p100"):
+            (first.store.results_dir / f"{task_id}.json").unlink()
+
+        runner, teardown = _run(kind, store=store, resume=True)
+        combos = runner.run(MIXES)
+        teardown()
+        assert [fingerprint(c) for c in combos] == serial_fingerprints
+        assert runner.tasks_run == 2
+        assert runner.tasks_resumed == runner.tasks_total - 2
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_trace_cache_round_trip_identical(self, kind, tmp_path, serial_fingerprints):
+        """A cold-then-warm shared trace cache changes nothing in the merge."""
+        cache = str(tmp_path / "traces")
+        config, plan = tiny_config(seed=7), small_plan()
+        if kind == "socket":
+            # Workers receive the coordinator's cache root with each chunk.
+            harness = _SocketHarness()
+            harness.backend.cache_root = cache
+            cold = ParallelRunner(config, plan, jobs=2, backend=harness.backend)
+            combos = cold.run(MIXES)
+            harness.join()
+            harness2 = _SocketHarness()
+            harness2.backend.cache_root = cache
+            warm = ParallelRunner(config, plan, jobs=2, backend=harness2.backend)
+            combos_warm = warm.run(MIXES)
+            harness2.join()
+        else:
+            cold = ParallelRunner(
+                config, plan, jobs=2, backend=make_backend(kind, jobs=2, cache_root=cache)
+            )
+            combos = cold.run(MIXES)
+            warm = ParallelRunner(
+                config, plan, jobs=2, backend=make_backend(kind, jobs=2, cache_root=cache)
+            )
+            combos_warm = warm.run(MIXES)
+        assert [fingerprint(c) for c in combos] == serial_fingerprints
+        assert [fingerprint(c) for c in combos_warm] == serial_fingerprints
+
+
+class TestSocketFaults:
+    def test_killed_worker_requeues_chunk(self, serial_fingerprints):
+        """A worker that dies after claiming a chunk neither loses nor
+        duplicates tasks: the chunk is requeued to a surviving worker and
+        the merge stays bit-identical."""
+        backend = SocketBackend(heartbeat_timeout=10.0, worker_wait=30.0)
+        host, port = backend.bind()
+        claimed = threading.Event()
+
+        def doomed_worker():
+            """Speaks just enough protocol to claim a chunk, then dies."""
+            sock = socketlib.create_connection((host, port), timeout=10)
+            try:
+                send_hello(sock, "doomed")
+                send_msg(sock, {"type": "ready"})
+                msg = recv_msg(sock)
+                assert msg and msg["type"] == "chunk"
+            finally:
+                claimed.set()
+                sock.close()  # dies without returning a result
+
+        doomed = threading.Thread(target=doomed_worker, daemon=True)
+        doomed.start()
+
+        def healthy_worker():
+            claimed.wait(timeout=15)  # let the doomed worker claim first
+            run_worker(host, port)
+
+        healthy = threading.Thread(target=healthy_worker, daemon=True)
+        healthy.start()
+
+        config, plan = tiny_config(seed=7), small_plan()
+        runner = ParallelRunner(config, plan, jobs=2, backend=backend)
+        combos = runner.run(MIXES)
+        doomed.join(timeout=15)
+        healthy.join(timeout=15)
+        assert not healthy.is_alive()
+        assert [fingerprint(c) for c in combos] == serial_fingerprints
+        assert runner.tasks_run == runner.tasks_total  # nothing lost
+
+    def test_no_workers_raises_instead_of_hanging(self):
+        backend = SocketBackend(worker_wait=1.0)
+        config, plan = tiny_config(seed=7), small_plan()
+        runner = ParallelRunner(config, plan, jobs=2, backend=backend)
+        with pytest.raises(EngineError, match="no live workers"):
+            runner.run([MIXES[0]])
+
+    def test_incompatible_hello_is_rejected(self):
+        """A peer with the wrong protocol version is dropped, and real
+        workers still complete the sweep."""
+        backend = SocketBackend(heartbeat_timeout=10.0, worker_wait=30.0)
+        host, port = backend.bind()
+
+        def bad_peer():
+            import json as jsonlib
+            import struct
+
+            sock = socketlib.create_connection((host, port), timeout=10)
+            try:
+                body = jsonlib.dumps({"type": "hello", "worker": "stale",
+                                      "version": PROTOCOL_VERSION + 1}).encode()
+                sock.sendall(struct.pack(">I", len(body)) + body)
+                assert recv_msg(sock) is None  # coordinator hangs up
+            finally:
+                sock.close()
+
+        def garbage_peer():
+            """A non-protocol client (e.g. a stray HTTP probe) must be
+            dropped by the JSON handshake without reaching the unpickler."""
+            sock = socketlib.create_connection((host, port), timeout=10)
+            try:
+                sock.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+                sock.settimeout(10)
+                try:
+                    data = sock.recv(1)
+                except ConnectionResetError:
+                    data = b""  # hard reset: unread bytes at close
+                assert data == b""  # coordinator hangs up either way
+            finally:
+                sock.close()
+
+        bad = threading.Thread(target=bad_peer, daemon=True)
+        bad.start()
+        garbage = threading.Thread(target=garbage_peer, daemon=True)
+        garbage.start()
+        good = threading.Thread(target=run_worker, args=(host, port), daemon=True)
+        good.start()
+
+        config, plan = tiny_config(seed=7), small_plan()
+        runner = ParallelRunner(config, plan, jobs=2, backend=backend)
+        [combo] = runner.run([MIXES[0]])
+        bad.join(timeout=15)
+        garbage.join(timeout=15)
+        good.join(timeout=15)
+        serial = fingerprint(run_combo(MIXES[0], tiny_config(seed=7), small_plan()))
+        assert fingerprint(combo) == serial
+        assert backend.workers_seen == 1  # neither bad peer ever registered
+
+
+class TestTaskFailurePropagation:
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_task_error_raises_after_siblings_persist(self, kind, tmp_path):
+        """A bad scheme name fails the run on every backend, but the chunk
+        siblings that finished before it are already in the store (resume
+        granularity).  jobs=1 keeps the mix in one chunk so l2p
+        deterministically precedes the failing task."""
+        store = str(tmp_path / "store")
+        config, plan = tiny_config(seed=7), small_plan()
+        teardown = lambda: None
+        if kind == "socket":
+            harness = _SocketHarness(n_workers=1)
+            backend, teardown = harness.backend, harness.join
+        elif kind == "process":
+            backend = ProcessPoolBackend(1)
+        else:
+            backend = InlineBackend()
+        from repro.common.errors import ConfigError
+
+        runner = ParallelRunner(
+            config, plan, jobs=1, store=store, backend=backend,
+            schemes=["l2p", "definitely_not_a_scheme"],
+        )
+        try:
+            # The *original* task exception must surface — on the socket
+            # backend too, even though the failing chunk is the last (and
+            # only) one — not a downstream KeyError from a silently
+            # incomplete merge.
+            with pytest.raises(ConfigError, match="unknown scheme"):
+                runner.run([MIXES[0]])
+        finally:
+            teardown()
+        assert "c5_0__l2p" in runner.store.completed_ids()

@@ -14,7 +14,7 @@ import pytest
 
 from repro.common.config import tiny_config
 from repro.engine import ParallelRunner
-from repro.engine.runner import (
+from repro.engine.execution import (
     _TRACE_MEMO_MAX,
     _mix_traces,
     _trace_memo,
@@ -112,19 +112,44 @@ class TestMemoizedEngineBitIdentical:
         def task(scheme):
             return SimTask(mix.mix_id, mix.mix_class, mix.programs, scheme)
 
-        results, error = execute_task_chunk(
+        results, error, stats = execute_task_chunk(
             config, plan, [task("l2p"), task("not_a_scheme"), task("l2s")]
         )
         assert [r.scheme for r in results] == ["l2p"]
         assert error is not None
+        assert stats["memo_hits"] + stats["cache_hits"] + stats["generated"] >= 1
 
-    def test_single_mix_pool_still_fans_out(self):
-        """Fewer mixes than workers: chunking degrades to one task per chunk."""
+    def test_single_mix_pool_fans_out_in_subchunks(self):
+        """Fewer mixes than workers: each mix splits into contiguous
+        sub-chunks of <= ceil(len/jobs) tasks — enough chunks to fill the
+        workers *without* giving up the within-chunk trace-memo locality
+        single-task chunks used to discard."""
+        import math
+
         config, plan = tiny_config(seed=7), small_plan()
         mix = get_mix("c4_1")
         runner = ParallelRunner(config, plan, jobs=3)
-        chunks = runner._chunk(expand_mix_tasks(mix, runner.schemes, plan.cc_probs))
-        assert all(len(c) == 1 for c in chunks)
+        tasks = expand_mix_tasks(mix, runner.schemes, plan.cc_probs)
+        chunks = runner._chunk(tasks)
+        cap = math.ceil(len(tasks) / runner.jobs)
+        assert len(chunks) >= runner.jobs
+        assert all(1 <= len(c) <= cap for c in chunks)
+        assert any(len(c) > 1 for c in chunks)  # memo locality survives
+        # Sub-chunks are contiguous slices in task order.
+        assert [t.task_id for c in chunks for t in c] == [t.task_id for t in tasks]
         serial = fingerprint(run_combo(mix, config, plan))
         [combo] = runner.run([mix])
         assert fingerprint(combo) == serial
+
+    def test_multi_mix_chunks_stay_whole_when_enough(self):
+        """With at least as many mixes as workers, chunks stay one-per-mix."""
+        config, plan = tiny_config(seed=7), small_plan()
+        mixes = [get_mix("c5_0"), get_mix("c5_1")]
+        runner = ParallelRunner(config, plan, jobs=2)
+        tasks = [
+            t for m in mixes for t in expand_mix_tasks(m, runner.schemes, plan.cc_probs)
+        ]
+        chunks = runner._chunk(tasks)
+        assert len(chunks) == 2
+        assert {c[0].mix_id for c in chunks} == {"c5_0", "c5_1"}
+        assert all(len({t.mix_id for t in c}) == 1 for c in chunks)

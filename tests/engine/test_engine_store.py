@@ -77,6 +77,28 @@ class TestResultStore:
         with pytest.raises(EngineError):
             store.load("bad")
 
+    def test_corrupt_result_error_names_file_and_remedy(self, tmp_path):
+        """A torn task JSON (worker killed mid-write) produces an actionable
+        message — the file to delete and the --resume remedy — instead of a
+        bare json.JSONDecodeError."""
+        store = ResultStore(tmp_path / "s")
+        store.initialize({})
+        path = store.results_dir / "c4_0__l2p.json"
+        path.write_text('{"task": {"scheme": "l2p"}, "result": {"ipc": [0.')
+        with pytest.raises(EngineError) as excinfo:
+            store.load("c4_0__l2p")
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "c4_0__l2p" in message
+        assert "--resume" in message
+
+    def test_unreadable_manifest_raises_engine_error(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize({"k": 1})
+        store.manifest_path.write_text("{torn")
+        with pytest.raises(EngineError, match="manifest"):
+            ResultStore(tmp_path / "s").initialize({"k": 1})
+
     def test_half_written_tmp_not_counted_complete(self, tmp_path):
         store = ResultStore(tmp_path / "s")
         store.initialize({})

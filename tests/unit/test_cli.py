@@ -38,6 +38,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["survey", "--jobs", "-1"])
 
+    def test_backend_choices(self):
+        args = build_parser().parse_args(["run", "--mix", "c3_0", "--backend", "socket"])
+        assert args.backend == "socket"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mix", "c3_0", "--backend", "mpi"])
+
+    def test_bind_requires_socket_backend(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--mix", "c3_0", "--bind", "127.0.0.1:9"])
+        with pytest.raises(SystemExit):
+            main(["run", "--mix", "c3_0", "--backend", "socket", "--bind", "nonsense"])
+
+    def test_worker_args(self):
+        args = build_parser().parse_args(["worker", "--connect", "10.0.0.2:7009"])
+        assert args.command == "worker"
+        assert args.connect == "10.0.0.2:7009"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])  # --connect required
+        with pytest.raises(SystemExit):
+            main(["worker", "--connect", "not-an-address"])
+
 
 class TestCommands:
     def test_overhead(self, capsys):
@@ -100,3 +121,81 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "Figure 9" in out and "Figure 11" in out
+
+    def test_run_backend_inline_summary_line(self, capsys, tmp_path):
+        from repro.engine.execution import _trace_memo
+
+        _trace_memo.clear()  # isolate counters from earlier in-process runs
+        rc = main([
+            "--scale", "tiny", "run", "--mix", "c5_0",
+            "--schemes", "l2p", "snug",
+            "--backend", "inline", "--trace-cache", str(tmp_path / "tc"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine: backend=inline" in out
+        assert "2 task(s): 0 resumed, 2 simulated" in out
+        assert "traces:" in out and "1 generated" in out
+
+    def test_run_trace_cache_hit_reported(self, capsys, tmp_path):
+        from repro.engine.execution import _trace_memo
+
+        argv = [
+            "--scale", "tiny", "run", "--mix", "c5_1",
+            "--schemes", "l2p", "--backend", "process", "--jobs", "1",
+            "--trace-cache", str(tmp_path / "tc"),
+        ]
+        _trace_memo.clear()
+        assert main(argv) == 0
+        capsys.readouterr()
+        _trace_memo.clear()
+        assert main(argv) == 0
+        assert "1 cache hit(s)" in capsys.readouterr().out
+
+    def test_sweep_socket_cli_end_to_end(self, capsys):
+        """Acceptance: a socket-backend sweep driven purely through the CLI
+        completes against two real `repro worker` subprocesses."""
+        import os
+        import socket as socketlib
+        import subprocess
+        import sys
+        import threading
+
+        probe = socketlib.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        rc_box = {}
+
+        def coordinator():
+            rc_box["rc"] = main([
+                "--scale", "tiny", "sweep", "--classes", "C5",
+                "--combos-per-class", "1",
+                "--backend", "socket", "--bind", f"127.0.0.1:{port}",
+            ])
+
+        coord = threading.Thread(target=coordinator)
+        coord.start()
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--connect", f"127.0.0.1:{port}"],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            )
+            for _ in range(2)
+        ]
+        coord.join(timeout=240)
+        worker_out = [w.communicate(timeout=60)[0] for w in workers]
+        assert not coord.is_alive(), "coordinator sweep did not finish"
+        assert rc_box["rc"] == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "Figure 11" in out
+        assert "backend=socket" in out
+        assert f"repro worker --connect 127.0.0.1:{port}" in out
+        for w, text in zip(workers, worker_out):
+            assert w.returncode == 0, text
+            assert "processed" in text
