@@ -1,6 +1,13 @@
 """Characterization, metrics, overhead model and report rendering."""
 
-from .demand import DemandDistribution, bucket_bounds, bucket_of, characterize_trace
+from .demand import (
+    DemandDistribution,
+    bucket_bounds,
+    bucket_of,
+    characterize_stream,
+    characterize_trace,
+    iter_addr_chunks,
+)
 from .metrics import (
     average_weighted_speedup,
     fair_speedup,
@@ -17,6 +24,8 @@ __all__ = [
     "bucket_bounds",
     "bucket_of",
     "characterize_trace",
+    "characterize_stream",
+    "iter_addr_chunks",
     "average_weighted_speedup",
     "fair_speedup",
     "geometric_mean",

@@ -18,12 +18,13 @@ distributions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Iterable, List, Sequence
 
 import numpy as np
 
 from ..cache.stackdist import StackDistanceProfiler
 from ..cache.stackdist_fast import profile_stream
+from ..cache.stackdist_stream import StreamingProfiler
 from ..common.bitops import is_pow2
 from ..common.errors import ConfigError
 from ..workloads.trace import Trace
@@ -33,6 +34,8 @@ __all__ = [
     "bucket_of",
     "DemandDistribution",
     "characterize_trace",
+    "characterize_stream",
+    "iter_addr_chunks",
 ]
 
 
@@ -182,17 +185,91 @@ def characterize_trace(
             profiler.reference_many(chunk)
             demand[i] = profiler.end_interval()
 
+    return DemandDistribution(
+        name=trace.name,
+        a_threshold=a_threshold,
+        m=m,
+        sizes=_bucket_sizes(demand, a_threshold, m),
+        demand=demand,
+    )
+
+
+def _bucket_sizes(demand: np.ndarray, a_threshold: int, m: int) -> np.ndarray:
+    """Formula 5 over an ``(intervals, num_sets)`` demand matrix."""
+    n_intervals, num_sets = demand.shape
     width = a_threshold // m
     buckets = (np.minimum(demand, a_threshold) - 1) // width
     flat = np.bincount(
         (np.arange(n_intervals, dtype=np.int64)[:, None] * m + buckets).ravel(),
         minlength=n_intervals * m,
     )
-    sizes = flat.reshape(n_intervals, m) / num_sets
+    return flat.reshape(n_intervals, m) / num_sets
+
+
+def iter_addr_chunks(trace: Trace, chunk_accesses: int) -> Iterable[np.ndarray]:
+    """Yield *trace*'s address column in fixed-size array views.
+
+    Adapter from an in-memory :class:`~repro.workloads.trace.Trace` to the
+    chunk-iterable contract of :func:`characterize_stream` — the views share
+    the trace's buffer, so no copy is made.  For traces that should never be
+    materialized at all, stream chunks straight off disk with
+    :meth:`repro.workloads.trace_cache.TraceCache.stream_addrs` instead.
+    """
+    if chunk_accesses < 1:
+        raise ConfigError("chunk_accesses must be positive")
+    addrs = trace.addrs
+    for i in range(0, len(addrs), chunk_accesses):
+        yield addrs[i : i + chunk_accesses]
+
+
+def characterize_stream(
+    chunks: Iterable[np.ndarray | Sequence[int]],
+    num_sets: int,
+    *,
+    name: str = "stream",
+    a_threshold: int = 32,
+    m: int = 8,
+    interval_accesses: int = 2000,
+    max_intervals: int | None = None,
+) -> DemandDistribution:
+    """Run the Section 2.2 characterization over a *chunked* address stream.
+
+    The streaming counterpart of :func:`characterize_trace`: *chunks* is any
+    iterable of block-address arrays (a generator reading a trace-cache
+    entry off disk, :func:`iter_addr_chunks` over an in-memory trace, a
+    simulation co-run's tap, ...), consumed strictly one chunk at a time.
+    Peak memory is one chunk plus the profiler's carried per-set stacks plus
+    the growing ``(intervals, num_sets)`` demand matrix — the output itself
+    — so paper-scale traces never have to exist in memory as a whole.
+
+    The result is bit-identical to :func:`characterize_trace` with
+    ``kernel="fast"`` on the concatenated stream (asserted by the unit and
+    property suites); iteration stops early once *max_intervals* intervals
+    are complete.
+    """
+    bucket_bounds(a_threshold, m)  # validates the pair
+    if interval_accesses < 1:
+        raise ConfigError("interval_accesses must be positive")
+    profiler = StreamingProfiler(
+        num_sets,
+        a_threshold,
+        interval_accesses=interval_accesses,
+        max_intervals=max_intervals,
+    )
+    rows: List[np.ndarray] = []
+    for chunk in chunks:
+        profile = profiler.feed(chunk)
+        if profile.intervals:
+            rows.append(profile.block_required())
+        if profiler.done:
+            break
+    if not rows:
+        raise ConfigError("trace too short for even one sampling interval")
+    demand = np.concatenate(rows, axis=0)
     return DemandDistribution(
-        name=trace.name,
+        name=name,
         a_threshold=a_threshold,
         m=m,
-        sizes=sizes,
+        sizes=_bucket_sizes(demand, a_threshold, m),
         demand=demand,
     )

@@ -38,6 +38,9 @@ __all__ = [
     "check_trend",
     "render_trend",
     "trend_ok",
+    "history_record",
+    "append_history",
+    "load_history",
 ]
 
 #: The speed benches with committed reference artifacts.
@@ -150,3 +153,74 @@ def render_trend(checks: Sequence[TrendCheck], relax: bool = False) -> str:
 def trend_ok(checks: Sequence[TrendCheck], relax: bool = False) -> bool:
     """True when no check failed (or failures are relaxed to warnings)."""
     return relax or all(c.ok for c in checks)
+
+
+# -- trajectory history (benchmarks/history.jsonl) -------------------------
+#
+# The pairwise ref-vs-current gate above answers "did this change regress?";
+# the history file answers "what has the trajectory been?" — one JSON line
+# per recorded run, appended by ``benchmarks/trend.py --append`` and
+# committed per PR so the curve accumulates instead of being re-derived
+# from two points.
+
+
+def history_record(
+    current_dir: str | os.PathLike,
+    benches: Sequence[str] = DEFAULT_BENCHES,
+    *,
+    rev: str | None = None,
+    recorded_at: str | None = None,
+    note: str | None = None,
+) -> dict:
+    """One history entry summarizing the ``BENCH_*.json`` in *current_dir*.
+
+    Per bench the headline ``geomean_speedup``, the run scale and whether
+    timings were relaxed are kept; benches whose artifact is missing or
+    unreadable are recorded as ``None`` so a silently-stopped bench leaves a
+    visible hole in the curve.  *rev* and *recorded_at* identify the run
+    (the CLI fills them from git and the wall clock).
+    """
+    current_dir = Path(current_dir)
+    entry: dict = {"rev": rev, "recorded_at": recorded_at, "benches": {}}
+    if note:
+        entry["note"] = note
+    for bench in benches:
+        doc, problem = _read_artifact(current_dir, bench)
+        if doc is None or problem is not None:
+            entry["benches"][bench] = None
+            continue
+        entry["benches"][bench] = {
+            "geomean_speedup": doc.get("geomean_speedup"),
+            "scale": doc.get("scale"),
+            "relaxed_timing": doc.get("relaxed_timing"),
+        }
+    return entry
+
+
+def append_history(path: str | os.PathLike, record: dict) -> None:
+    """Append *record* as one JSON line to the history file at *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: str | os.PathLike) -> List[dict]:
+    """All history entries at *path* (oldest first); missing file = empty.
+
+    Unparseable lines are skipped rather than fatal — a half-written last
+    line (crash mid-append) must not make the whole trajectory unreadable.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return entries

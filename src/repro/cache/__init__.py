@@ -7,6 +7,7 @@ from .satcounter import DemandMonitorCounter, SaturatingCounter
 from .shadowset import ShadowSet
 from .stackdist import StackDistanceProfiler, StackDistanceSet
 from .stackdist_fast import DemandProfile, profile_stream, stack_distances
+from .stackdist_stream import StreamingProfiler, concat_profiles, profile_chunks
 
 __all__ = [
     "CacheLine",
@@ -20,4 +21,7 @@ __all__ = [
     "DemandProfile",
     "profile_stream",
     "stack_distances",
+    "StreamingProfiler",
+    "concat_profiles",
+    "profile_chunks",
 ]

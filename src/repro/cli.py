@@ -1,16 +1,19 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the library's main entry points:
+Six subcommands cover the library's main entry points:
 
 ``characterize``
     Section 2 pipeline: per-set demand distribution of one benchmark
-    (Figures 1–3 as text), profiled through the vectorized stack-distance
-    kernel.
+    (Figures 1–3 as text).  Profiles through the vectorized stack-distance
+    kernel, or — with ``--stream [--chunk N]`` — through the chunked
+    streaming kernel in O(chunk) memory (reading straight off an on-disk
+    trace-cache entry when one exists), with bit-identical output.
 
 ``survey``
     The Section 2.3 survey: characterize all 26 SPEC2000 models and flag
     set-level non-uniformity.  ``--jobs N`` fans the programs across worker
-    processes with output identical to the serial run.
+    processes with output identical to the serial run; ``--stream`` applies
+    the streaming profiler per program.
 
 ``run``
     Simulate one Table 8 mix (or four explicit programs) under one or more
@@ -32,11 +35,19 @@ All commands accept ``--scale {tiny,small,medium,paper}`` and ``--seed``.
 ``--jobs N`` (simulate combinations' schemes across N worker processes),
 ``--backend {inline,process,socket}`` (execution transport; ``socket``
 listens on ``--bind HOST:PORT`` for ``repro worker`` processes),
-``--trace-cache DIR`` (shared on-disk trace cache, default
-``$REPRO_TRACE_CACHE``), ``--store DIR`` (persist per-task results as
-JSON) and ``--resume`` (skip tasks already completed in the store) — see
-:mod:`repro.engine`.  Every backend produces bit-identical results to the
-serial path.
+``--store DIR`` (persist per-task results as JSON), ``--resume`` (skip
+tasks already completed in the store) and ``--snug-monitor`` (SNUG
+classifies sets from an online streaming demand monitor; a plan property,
+so it behaves identically under every backend) — see :mod:`repro.engine`.
+Every backend produces bit-identical results to the serial path.
+
+Trace provisioning everywhere is two-tier: ``--trace-cache DIR`` (default
+``$REPRO_TRACE_CACHE``) names the shared on-disk
+:class:`~repro.workloads.trace_cache.TraceCache` consulted before any
+trace is regenerated, and each process keeps a small memo on top — so a
+sweep, its workers and the characterization pipeline generate every trace
+once between them.  See ``docs/engine.md`` for the backend contract, the
+socket worker protocol and the cache key scheme.
 """
 
 from __future__ import annotations
@@ -75,13 +86,14 @@ _PLAN_SIZING = {
 }
 
 
-def _plan_for(scale: str, seed: int) -> RunPlan:
+def _plan_for(scale: str, seed: int, snug_monitor: bool = False) -> RunPlan:
     n_acc, target, warmup = _PLAN_SIZING[scale]
     return RunPlan(
         n_accesses=n_acc,
         target_instructions=target,
         warmup_instructions=warmup,
         seed=seed,
+        snug_monitor=snug_monitor,
     )
 
 
@@ -94,7 +106,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=7)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    engine_flags = argparse.ArgumentParser(add_help=False)
+    # One definition of --trace-cache shared by every command that touches
+    # trace provisioning (run/sweep via engine_flags, characterize/survey
+    # via stream_flags) — the help text can't drift between them.
+    cache_flags = argparse.ArgumentParser(add_help=False)
+    cache_flags.add_argument(
+        "--trace-cache", default=None, metavar="DIR",
+        help="two-tier trace provisioning: shared on-disk trace cache "
+             "consulted before regenerating (each process keeps a memo on "
+             "top); default $REPRO_TRACE_CACHE if set",
+    )
+
+    engine_flags = argparse.ArgumentParser(add_help=False, parents=[cache_flags])
     engine_flags.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="parallel engine: worker processes (0 = in-process task loop); "
@@ -120,31 +143,59 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 127.0.0.1:0 = any free port, printed at startup)",
     )
     engine_flags.add_argument(
-        "--trace-cache", default=None, metavar="DIR",
-        help="shared on-disk trace cache consulted before regenerating "
-             "workload traces (default: $REPRO_TRACE_CACHE if set)",
+        "--snug-monitor", action="store_true",
+        help="SNUG schemes classify sets from an online streaming "
+             "stack-distance monitor instead of the hardware counters "
+             "(works identically under every backend)",
     )
 
-    p_char = sub.add_parser("characterize", help="set-level demand distribution (Figs 1-3)")
+    stream_flags = argparse.ArgumentParser(add_help=False, parents=[cache_flags])
+    stream_flags.add_argument(
+        "--stream", action="store_true",
+        help="profile through the chunked streaming kernel: O(chunk) memory, "
+             "bit-identical output; with a trace cache, streams are read "
+             "straight off the on-disk entries",
+    )
+    stream_flags.add_argument(
+        "--chunk", type=int, default=None, metavar="N",
+        help="streaming chunk size in accesses (default 65536; requires --stream)",
+    )
+
+    p_char = sub.add_parser(
+        "characterize", help="set-level demand distribution (Figs 1-3)",
+        parents=[stream_flags],
+    )
     p_char.add_argument("benchmark", choices=benchmark_names())
-    p_char.add_argument("--intervals", type=int, default=30)
-    p_char.add_argument("--interval-accesses", type=int, default=2_000)
     p_char.add_argument(
-        "--trace-cache", default=None, metavar="DIR",
-        help="shared on-disk trace cache (default: $REPRO_TRACE_CACHE if set)",
+        "--intervals", type=int, default=30, metavar="N",
+        help="sampling intervals to characterize (paper: 1000)",
+    )
+    p_char.add_argument(
+        "--interval-accesses", type=int, default=2_000, metavar="N",
+        help="L2 accesses per sampling interval (paper: 100000)",
     )
 
-    p_survey = sub.add_parser("survey", help="Section 2.3 non-uniformity survey (26 programs)")
-    p_survey.add_argument("--intervals", type=int, default=12)
-    p_survey.add_argument("--interval-accesses", type=int, default=1_500)
-    p_survey.add_argument("--threshold", type=float, default=0.08)
+    p_survey = sub.add_parser(
+        "survey", help="Section 2.3 non-uniformity survey (26 programs)",
+        parents=[stream_flags],
+    )
+    p_survey.add_argument(
+        "--intervals", type=int, default=12, metavar="N",
+        help="sampling intervals per program",
+    )
+    p_survey.add_argument(
+        "--interval-accesses", type=int, default=1_500, metavar="N",
+        help="L2 accesses per sampling interval",
+    )
+    p_survey.add_argument(
+        "--threshold", type=float, default=0.08, metavar="FRAC",
+        help="non-uniformity score at or above which a program is flagged",
+    )
     p_survey.add_argument(
         "--jobs", type=int, default=0, metavar="N",
-        help="characterize programs across N worker processes (0 = in-process)",
-    )
-    p_survey.add_argument(
-        "--trace-cache", default=None, metavar="DIR",
-        help="shared on-disk trace cache (default: $REPRO_TRACE_CACHE if set)",
+        help="characterize programs across N worker processes (0 = in-process); "
+             "workers share on-disk trace-cache entries and keep a per-process "
+             "memo on top — output identical to the serial run",
     )
 
     p_run = sub.add_parser("run", help="simulate one workload mix", parents=[engine_flags])
@@ -161,7 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="class sweep (Figures 9-11)", parents=[engine_flags])
     p_sweep.add_argument("--classes", nargs="+", choices=mix_classes(), default=None)
-    p_sweep.add_argument("--combos-per-class", type=int, default=None)
+    p_sweep.add_argument(
+        "--combos-per-class", type=int, default=None, metavar="K",
+        help="limit each workload class to its first K combinations "
+             "(default: all)",
+    )
 
     sub.add_parser("overhead", help="storage-overhead analysis (Tables 2-3)")
 
@@ -193,6 +248,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         interval_accesses=args.interval_accesses,
         seed=args.seed,
         trace_cache=args.trace_cache,
+        stream=args.stream,
+        chunk_accesses=args.chunk,
     )
     print(render_char(dist, max_rows=20))
     verdict = "NON-UNIFORM" if dist.is_non_uniform() else "uniform"
@@ -214,6 +271,8 @@ def _cmd_survey(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         jobs=args.jobs,
         trace_cache=args.trace_cache,
+        stream=args.stream,
+        chunk_accesses=args.chunk,
     )
     print(render_survey(rows))
     flagged = non_uniform_names(rows)
@@ -307,7 +366,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = scaled_config(args.scale, seed=args.seed)
-    plan = _plan_for(args.scale, args.seed)
+    plan = _plan_for(args.scale, args.seed, snug_monitor=args.snug_monitor)
     if args.mix:
         mix = get_mix(args.mix)
     else:
@@ -330,7 +389,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     config = scaled_config(args.scale, seed=args.seed)
-    plan = _plan_for(args.scale, args.seed)
+    plan = _plan_for(args.scale, args.seed, snug_monitor=args.snug_monitor)
     if _engine_requested(args):
         mixes = select_mixes(args.classes, args.combos_per_class)
         runner = _make_engine(args, config, plan, DEFAULT_SCHEMES)
@@ -391,6 +450,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"--bind expects HOST:PORT, got {args.bind!r}")
     if args.command == "survey" and args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = in-process survey)")
+    if args.command in ("characterize", "survey"):
+        if args.chunk is not None and not args.stream:
+            parser.error("--chunk requires --stream")
+        if args.chunk is not None and args.chunk < 1:
+            parser.error("--chunk must be >= 1 access")
     if args.command == "worker" and _parse_hostport(args.connect) is None:
         parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
     return _COMMANDS[args.command](args)

@@ -30,6 +30,7 @@ from typing import Dict, List, Sequence
 from ..common.config import SystemConfig
 from ..core.cmp import SimResult
 from ..experiments.runner import RunPlan, run_traces
+from ..schemes.factory import SCHEMES
 from ..workloads.mixes import WorkloadMix
 from ..workloads.trace_cache import TraceCache, cached_mix_traces
 from .tasks import SimTask
@@ -108,6 +109,13 @@ def execute_task(
     kwargs = {}
     if task.cc_prob is not None:
         kwargs["spill_probability"] = task.cc_prob
+    if plan.snug_monitor and hasattr(SCHEMES.get(task.scheme), "attach_monitor"):
+        # Online demand monitors travel as a plan flag (a bool pickles to
+        # any backend's workers); the monitor object itself is constructed
+        # here, next to the simulation it instruments.  Eligibility comes
+        # from the scheme class itself, so new monitor-capable schemes are
+        # covered without touching this module.
+        kwargs["snug_monitor"] = True
     return run_traces(
         task.scheme,
         config,

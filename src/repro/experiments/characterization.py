@@ -7,8 +7,17 @@ of the 26 SPEC2000 programs exhibit strong, exploitable set-level
 non-uniformity of capacity demand.
 
 Profiling runs through the vectorized stack-distance kernel
-(:mod:`repro.cache.stackdist_fast`), and :func:`survey_26` optionally fans
-its 26 programs across worker processes via the engine's
+(:mod:`repro.cache.stackdist_fast`), or — with ``stream=True`` — through the
+chunked :mod:`repro.cache.stackdist_stream` profiler, which reads the
+reference stream in ``O(chunk)`` memory (straight off a trace-cache entry on
+disk when one exists, without ever materializing the trace).  Both kernels
+produce bit-identical distributions.
+
+Trace provisioning is two-tier, exactly like the simulation engine's: the
+shared on-disk :class:`~repro.workloads.trace_cache.TraceCache` (``--trace-
+cache DIR`` / ``$REPRO_TRACE_CACHE``) is consulted before regenerating, and
+worker processes layer their per-process memo on top.  :func:`survey_26`
+optionally fans its 26 programs across worker processes via the engine's
 :func:`~repro.engine.pool.parallel_map` — rows come back in request order,
 so the parallel survey is identical to the serial one.
 """
@@ -18,13 +27,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from ..analysis.demand import DemandDistribution, bucket_bounds, characterize_trace
+from ..analysis.demand import (
+    DemandDistribution,
+    bucket_bounds,
+    characterize_stream,
+    characterize_trace,
+    iter_addr_chunks,
+)
 from ..analysis.report import render_distribution, render_table
+from ..common.errors import ConfigError
 from ..engine.pool import parallel_map
 from ..workloads.spec2000 import benchmark_names
-from ..workloads.trace_cache import TraceCache, cached_benchmark_trace, resolve_cache_root
+from ..workloads.trace_cache import (
+    TraceCache,
+    benchmark_key,
+    cached_benchmark_trace,
+    resolve_cache_root,
+)
 
 __all__ = ["figure_distribution", "SurveyRow", "survey_26", "render_survey"]
+
+#: Default streaming chunk: 64 K addresses (512 KB resident) — small enough
+#: to keep the paper-scale working set trivial, large enough to amortize the
+#: per-chunk kernel launches.
+DEFAULT_STREAM_CHUNK = 1 << 16
 
 
 def figure_distribution(
@@ -37,6 +63,8 @@ def figure_distribution(
     m: int = 8,
     seed: int = 0,
     trace_cache: str | None = None,
+    stream: bool = False,
+    chunk_accesses: int | None = None,
 ) -> DemandDistribution:
     """Characterize one benchmark (Figures 1–3 use ammp / vortex / applu).
 
@@ -47,11 +75,55 @@ def figure_distribution(
     (*trace_cache* or ``$REPRO_TRACE_CACHE``) when one is configured — the
     same digest-verified entries the simulation engine uses, so a sweep and
     its characterization generate each trace once between them.
+
+    ``stream=True`` profiles through the chunked streaming kernel in
+    ``O(chunk_accesses)`` memory instead of one whole-trace pass.  With a
+    trace cache configured the chunks are read directly off the on-disk
+    entry (the trace is generated once to seed the cache if absent, then
+    never materialized again); without one the generated trace is walked in
+    chunk-sized views.  Either way the result is bit-identical to the batch
+    kernel.
     """
     root = resolve_cache_root(trace_cache)
     cache = TraceCache(root) if root else None
+    n_accesses = intervals * interval_accesses
+    if stream:
+        chunk = DEFAULT_STREAM_CHUNK if chunk_accesses is None else chunk_accesses
+        if cache is not None:
+            key = benchmark_key(benchmark, num_sets, n_accesses, seed)
+            if not cache.path_for(key).is_file():
+                # Seed the entry; the trace object is dropped immediately.
+                cached_benchmark_trace(cache, benchmark, num_sets, n_accesses, seed)
+            try:
+                return characterize_stream(
+                    cache.stream_addrs(key, chunk),
+                    num_sets,
+                    name=benchmark,
+                    a_threshold=a_threshold,
+                    m=m,
+                    interval_accesses=interval_accesses,
+                    max_intervals=intervals,
+                )
+            except ConfigError:
+                raise  # bad characterization parameters, not a bad entry
+            except ValueError:
+                # Corrupt entry: fall through to the regenerating batch
+                # loader, then stream the regenerated trace from memory.
+                pass
+        trace, _source = cached_benchmark_trace(
+            cache, benchmark, num_sets, n_accesses, seed
+        )
+        return characterize_stream(
+            iter_addr_chunks(trace, chunk),
+            num_sets,
+            name=trace.name,
+            a_threshold=a_threshold,
+            m=m,
+            interval_accesses=interval_accesses,
+            max_intervals=intervals,
+        )
     trace, _source = cached_benchmark_trace(
-        cache, benchmark, num_sets, intervals * interval_accesses, seed
+        cache, benchmark, num_sets, n_accesses, seed
     )
     return characterize_trace(
         trace,
@@ -93,6 +165,8 @@ def _survey_one(
     seed: int,
     threshold: float,
     trace_cache: str | None = None,
+    stream: bool = False,
+    chunk_accesses: int | None = None,
 ) -> SurveyRow:
     """One program's survey row (module-level so worker processes can run it)."""
     dist = figure_distribution(
@@ -102,6 +176,8 @@ def _survey_one(
         interval_accesses=interval_accesses,
         seed=seed,
         trace_cache=trace_cache,
+        stream=stream,
+        chunk_accesses=chunk_accesses,
     )
     return SurveyRow(
         benchmark=name,
@@ -121,6 +197,8 @@ def survey_26(
     threshold: float = 0.08,
     jobs: int = 0,
     trace_cache: str | None = None,
+    stream: bool = False,
+    chunk_accesses: int | None = None,
 ) -> List[SurveyRow]:
     """Characterize all 26 programs and classify their non-uniformity.
 
@@ -128,12 +206,25 @@ def survey_26(
     :func:`~repro.engine.pool.parallel_map`; rows are returned in benchmark
     order either way, so the output is identical to the serial run.
     *trace_cache* (default ``$REPRO_TRACE_CACHE``) lets the workers share
-    generated reference streams on disk.
+    generated reference streams on disk.  ``stream=True`` profiles each
+    program through the chunked streaming kernel (``chunk_accesses``
+    addresses resident at a time) — bit-identical rows, bounded memory per
+    worker, and with a trace cache the streams are read straight off disk.
     """
     return parallel_map(
         _survey_one,
         [
-            (name, num_sets, intervals, interval_accesses, seed, threshold, trace_cache)
+            (
+                name,
+                num_sets,
+                intervals,
+                interval_accesses,
+                seed,
+                threshold,
+                trace_cache,
+                stream,
+                chunk_accesses,
+            )
             for name in benchmark_names()
         ],
         jobs=jobs,

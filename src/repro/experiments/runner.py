@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..analysis.metrics import average_weighted_speedup, fair_speedup, normalized_throughput
 from ..common.config import SystemConfig
-from ..common.errors import EngineError
+from ..common.errors import ConfigError, EngineError
 from ..core.cmp import CmpSystem, SimResult
 from ..schemes.factory import make_scheme
 from ..workloads.mixes import WorkloadMix
@@ -50,13 +50,22 @@ CC_PROBS_FAST: tuple[float, ...] = (0.0, 0.5, 1.0)
 
 @dataclass(frozen=True)
 class RunPlan:
-    """Sizing of one simulation run."""
+    """Sizing of one simulation run.
+
+    ``snug_monitor`` selects SNUG's online demand-monitor path: SNUG-family
+    tasks attach an :class:`~repro.schemes.snug.OnlineDemandMonitor` so G/T
+    classification comes from a streaming stack-distance profile of the
+    observed reference stream instead of the hardware counters.  The flag
+    lives on the plan (not the CLI or backend) so it ships to every
+    execution backend's workers with the rest of the run sizing.
+    """
 
     n_accesses: int = 40_000
     target_instructions: int = 600_000
     warmup_instructions: int = 400_000
     seed: int = 0
     cc_probs: Sequence[float] = CC_PROBS_FAST
+    snug_monitor: bool = False
 
     def __post_init__(self) -> None:
         if self.n_accesses < 1 or self.target_instructions < 1:
@@ -92,10 +101,26 @@ def run_traces(
     traces: Sequence[Trace],
     target_instructions: int,
     warmup_instructions: int = 0,
+    *,
+    snug_monitor: bool = False,
     **scheme_kwargs,
 ) -> SimResult:
-    """Run one scheme over prepared traces (optionally with cache warmup)."""
+    """Run one scheme over prepared traces (optionally with cache warmup).
+
+    ``snug_monitor=True`` attaches an
+    :class:`~repro.schemes.snug.OnlineDemandMonitor` shaped for *config* —
+    only meaningful for schemes exposing ``attach_monitor`` (the SNUG
+    family); requesting it for any other scheme is a configuration error.
+    """
     scheme = make_scheme(scheme_name, config, **scheme_kwargs)
+    if snug_monitor:
+        if not hasattr(scheme, "attach_monitor"):
+            raise ConfigError(
+                f"scheme {scheme_name!r} has no online demand-monitor support"
+            )
+        from ..schemes.snug import OnlineDemandMonitor
+
+        scheme.attach_monitor(OnlineDemandMonitor.from_config(config))
     system = CmpSystem(config, scheme, list(traces))
     return system.run(target_instructions, warmup_instructions=warmup_instructions)
 

@@ -6,7 +6,13 @@ from .dsr import DynamicSpillReceive
 from .factory import SCHEMES, make_scheme, scheme_names
 from .l2p import PrivateL2
 from .l2s import SharedL2
-from .snug import STAGE_GROUP, STAGE_IDENTIFY, SnugCache
+from .snug import (
+    STAGE_GROUP,
+    STAGE_IDENTIFY,
+    OnlineDemandMonitor,
+    ScheduledGtMonitor,
+    SnugCache,
+)
 from .snug_intra import SnugIntraCache
 
 __all__ = [
@@ -23,6 +29,8 @@ __all__ = [
     "SharedL2",
     "STAGE_GROUP",
     "STAGE_IDENTIFY",
+    "OnlineDemandMonitor",
+    "ScheduledGtMonitor",
     "SnugCache",
     "SnugIntraCache",
 ]

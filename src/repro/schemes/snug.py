@@ -28,19 +28,44 @@ flips giver→taker would become unreachable under the G/T-gated lookup while
 still occupying capacity; we invalidate them at the flip (``cc_flushed``),
 preserving the "every on-chip block is reachable" invariant that the
 property tests assert.
+
+Online demand monitors
+----------------------
+Besides the hardware counters above, a slice's G/T classification can be
+driven by an *attached monitor* (:meth:`SnugCache.attach_monitor`): an
+object that observes every L2 reference during :meth:`CmpSystem.run
+<repro.core.cmp.CmpSystem.run>` and supplies the per-set taker vectors at
+each Stage-I latch.  :class:`OnlineDemandMonitor` streams each slice's
+reference stream through a chunked stack-distance profiler
+(:mod:`repro.cache.stackdist_stream`) and classifies sets by their Formula-3
+``block_required`` — the Section 2 characterization running *alongside* the
+simulation in bounded memory, instead of as a separate offline pass.
+:class:`ScheduledGtMonitor` replays a precomputed (offline) classification
+schedule; the integration suite pins the two paths to identical simulation
+results.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..cache.block import CacheLine
 from ..cache.satcounter import DemandMonitorCounter
 from ..cache.shadowset import ShadowSet
+from ..cache.stackdist_stream import StreamingProfiler
 from ..common.config import SystemConfig
+from ..common.errors import SimulationError
 from .base import AccessResult, Outcome, PrivateL2Base
 
-__all__ = ["SnugCache", "STAGE_IDENTIFY", "STAGE_GROUP"]
+__all__ = [
+    "SnugCache",
+    "OnlineDemandMonitor",
+    "ScheduledGtMonitor",
+    "STAGE_IDENTIFY",
+    "STAGE_GROUP",
+]
 
 STAGE_IDENTIFY = "identify"
 STAGE_GROUP = "group"
@@ -61,6 +86,147 @@ class _SnugSlice:
         self.gt_taker: List[bool] = [False] * num_sets
 
 
+class OnlineDemandMonitor:
+    """Streaming stack-distance demand monitor for one SNUG run.
+
+    Each slice's observed reference stream is fed, in bounded chunks,
+    through a caller-cut :class:`~repro.cache.stackdist_stream
+    .StreamingProfiler`; at every Stage-I latch the open interval is cut and
+    a set is classified **taker** iff its ``block_required`` (Formula 3 over
+    the interval since the previous latch) exceeds *taker_demand* — i.e. the
+    set demonstrably wants more ways than the baseline associativity gives
+    it.  Memory is ``O(chunk + num_sets * depth)`` per slice regardless of
+    run length: this is the Section 2 characterization running alongside the
+    simulation, not a trace post-mortem.
+
+    Parameters
+    ----------
+    num_cores, num_sets:
+        Geometry of the monitored system.
+    depth:
+        Profiler stack depth (``A_threshold = 2 * assoc``, as in Section 2).
+    taker_demand:
+        Classification threshold: ``block_required > taker_demand`` marks a
+        set taker.  The natural value is the baseline associativity.
+    chunk_accesses:
+        Buffered references per slice before a chunk is pushed into the
+        profiler (bounds the monitor's memory).
+    record_streams:
+        Keep each epoch's raw per-slice reference streams *and* the
+        per-latch demand history (test hook: lets the suite replay the
+        exact observed streams through the offline profiler and pin
+        online == offline).  Off by default — with it on, memory grows
+        with run length, which is exactly what the monitor otherwise
+        avoids.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        num_sets: int,
+        depth: int,
+        taker_demand: int,
+        chunk_accesses: int = 8192,
+        record_streams: bool = False,
+    ) -> None:
+        if chunk_accesses < 1:
+            raise ValueError("chunk_accesses must be positive")
+        if taker_demand < 1:
+            raise ValueError("taker_demand must be >= 1")
+        self.num_cores = num_cores
+        self.num_sets = num_sets
+        self.depth = depth
+        self.taker_demand = taker_demand
+        self.chunk_accesses = chunk_accesses
+        self.record_streams = record_streams
+        self._profilers = [StreamingProfiler(num_sets, depth) for _ in range(num_cores)]
+        self._buffers: List[List[int]] = [[] for _ in range(num_cores)]
+        #: How many latches have occurred.
+        self.latches = 0
+        #: The most recent latch's per-core ``block_required`` vectors.
+        self.last_demand: List[np.ndarray] = []
+        #: Per-latch history of demand vectors (kept only with
+        #: ``record_streams`` — it grows with run length).
+        self.latched_demand: List[List[np.ndarray]] = []
+        #: Per-latch history of the raw observed streams (record_streams).
+        self.epoch_streams: List[List[List[int]]] = []
+        self._open_streams: List[List[int]] = [[] for _ in range(num_cores)]
+
+    @classmethod
+    def from_config(cls, config: SystemConfig, **kwargs) -> "OnlineDemandMonitor":
+        """A monitor shaped for *config*: depth ``A_threshold``, threshold
+        ``A_baseline`` — the Section 2 parameters."""
+        return cls(
+            num_cores=config.num_cores,
+            num_sets=config.l2.num_sets,
+            depth=config.a_threshold,
+            taker_demand=config.l2.assoc,
+            **kwargs,
+        )
+
+    def observe(self, core: int, block_addr: int) -> None:
+        """Record one L2 reference (called from the scheme's access path)."""
+        buf = self._buffers[core]
+        buf.append(block_addr)
+        if len(buf) >= self.chunk_accesses:
+            self._flush(core)
+
+    def _flush(self, core: int) -> None:
+        buf = self._buffers[core]
+        if not buf:
+            return
+        self._profilers[core].feed(np.asarray(buf, dtype=np.int64))
+        if self.record_streams:
+            self._open_streams[core].extend(buf)
+        buf.clear()
+
+    def latch(self) -> List[np.ndarray]:
+        """Close the epoch: per-core boolean taker vectors from demand."""
+        vectors: List[np.ndarray] = []
+        demands: List[np.ndarray] = []
+        for core in range(self.num_cores):
+            self._flush(core)
+            demand = self._profilers[core].cut_block_required()
+            demands.append(demand)
+            vectors.append(demand > self.taker_demand)
+        self.latches += 1
+        self.last_demand = demands
+        if self.record_streams:
+            self.latched_demand.append(demands)
+            self.epoch_streams.append(self._open_streams)
+            self._open_streams = [[] for _ in range(self.num_cores)]
+        return vectors
+
+
+class ScheduledGtMonitor:
+    """Replays a precomputed per-epoch G/T classification (the offline path).
+
+    *schedule* is a sequence of latches, each a per-core sequence of per-set
+    taker flags — typically derived from an offline
+    :class:`~repro.cache.stackdist.StackDistanceProfiler` pass over the
+    slices' reference streams.  Running out of schedule entries means the
+    replayed run diverged from the run that produced them; that is a bug
+    worth failing loudly over, not papering across.
+    """
+
+    def __init__(self, schedule: Sequence[Sequence[Sequence[bool]]]) -> None:
+        self._schedule = list(schedule)
+        self._next = 0
+
+    def observe(self, core: int, block_addr: int) -> None:
+        """No per-access state: the classification is already computed."""
+
+    def latch(self) -> Sequence[Sequence[bool]]:
+        if self._next >= len(self._schedule):
+            raise SimulationError(
+                f"G/T schedule exhausted after {self._next} latches: the "
+                "replayed run requested more epochs than the schedule holds"
+            )
+        vectors = self._schedule[self._next]
+        self._next += 1
+        return vectors
+
+
 class SnugCache(PrivateL2Base):
     """The SNUG L2 organization for a CMP of private slices."""
 
@@ -79,8 +245,34 @@ class SnugCache(PrivateL2Base):
         self._stage_end = snug.identify_cycles
         self.epoch = 0
         self._spill_rr = 0  # rotating bus-arbitration start for spills
+        self.monitor = None  # optional attached demand monitor
+
+    def attach_monitor(self, monitor) -> "SnugCache":
+        """Drive G/T classification from *monitor* instead of the counters.
+
+        *monitor* must provide ``observe(core, block_addr)`` (called for
+        every L2 reference) and ``latch() -> per-core taker vectors``
+        (called at each Stage-I boundary).  The hardware shadow sets and
+        saturating counters keep running — their statistics stay comparable
+        — but their MSBs no longer decide the G/T bits.  Returns ``self``
+        so a scheme can be built and monitored in one expression.
+        """
+        self.monitor = monitor
+        return self
 
     # -- stage machinery -----------------------------------------------------
+
+    def _begin_access(self, core: int, block_addr: int, now: int) -> None:
+        """Per-access preamble: stage transitions, then monitor observation.
+
+        Ordered so that an access landing on an epoch boundary is charged to
+        the *new* epoch — the latch it may have just triggered summarizes
+        strictly earlier references.
+        """
+        if now >= self._stage_end:
+            self._advance_stage(now)
+        if self.monitor is not None:
+            self.monitor.observe(core, block_addr)
 
     def _advance_stage(self, now: int) -> None:
         """Lazily apply stage transitions that *now* has crossed."""
@@ -96,17 +288,29 @@ class SnugCache(PrivateL2Base):
                 self.stats.add("epochs")
 
     def _latch_gt_vectors(self) -> None:
-        """End of Stage I: latch counter MSBs into G/T vectors, reset monitors."""
+        """End of Stage I: latch the new G/T vectors, re-arm the counters.
+
+        The taker bits come from the attached monitor when one is present
+        (its ``latch()`` summarizes the references since the previous
+        latch), from the hardware counters' MSBs otherwise.  The saturating
+        counters are reset either way so their statistics stay epoch-scoped.
+        """
         flush = self.snug_cfg.flush_on_flip_to_taker
+        attached = self.monitor.latch() if self.monitor is not None else None
         for core, meta in enumerate(self.meta):
             takers = 0
-            for s, monitor in enumerate(meta.monitors):
-                new_taker = monitor.is_taker
+            new_takers = (
+                [m.is_taker for m in meta.monitors]
+                if attached is None
+                else attached[core]
+            )
+            for s, new_taker in enumerate(new_takers):
+                new_taker = bool(new_taker)
                 if new_taker and not meta.gt_taker[s] and flush:
                     self._flush_cc_in_set(core, s)
                 meta.gt_taker[s] = new_taker
                 takers += new_taker
-                monitor.reset()
+                meta.monitors[s].reset()
             self._slice_stats[core].add("taker_sets_latched", takers)
 
     def _flush_cc_in_set(self, core: int, set_index: int) -> None:
@@ -128,8 +332,7 @@ class SnugCache(PrivateL2Base):
             self.meta[core].monitors[block_addr & self._set_mask].on_real_hit()
 
     def access(self, core: int, block_addr: int, is_write: bool, now: int) -> AccessResult:
-        if now >= self._stage_end:
-            self._advance_stage(now)
+        self._begin_access(core, block_addr, now)
         local = self._local_paths(core, block_addr, is_write, now)
         if local is not None:
             return local

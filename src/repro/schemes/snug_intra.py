@@ -45,7 +45,7 @@ class SnugIntraCache(SnugCache):
     # -- demand path ---------------------------------------------------------
 
     def access(self, core: int, block_addr: int, is_write: bool, now: int) -> AccessResult:
-        self._advance_stage(now)
+        self._begin_access(core, block_addr, now)
         local = self._local_paths(core, block_addr, is_write, now)
         if local is not None:
             return local

@@ -37,8 +37,9 @@ import hashlib
 import json
 import os
 import threading
+import zipfile
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -115,6 +116,30 @@ def _content_digest(traces: Sequence[Trace]) -> str:
     return h.hexdigest()
 
 
+def _read_npy_header(member) -> Tuple[tuple, np.dtype]:
+    """Validate and return ``(shape, dtype)`` of an address-column ``.npy`` member.
+
+    Leaves *member* positioned at the first data byte, ready for sequential
+    chunk reads.  Raises ``ValueError`` for anything the streaming reader
+    cannot consume safely: Fortran order, ndim != 1, or a dtype other than
+    signed 64-bit integers (either endianness — a foreign float/narrow-int
+    member must be rejected, not silently value-converted into garbage
+    block addresses).
+    """
+    version = np.lib.format.read_magic(member)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(member)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(member)
+    else:
+        raise ValueError(f"unsupported npy format version {version}")
+    if fortran or len(shape) != 1:
+        raise ValueError(f"expected a 1-D C-order array, got {shape} {dtype}")
+    if dtype.kind != "i" or dtype.itemsize != 8:
+        raise ValueError(f"expected an int64 address column, got dtype {dtype}")
+    return shape, dtype
+
+
 class TraceCache:
     """Directory of digest-verified, atomically-written trace sets.
 
@@ -183,6 +208,73 @@ class TraceCache:
             return None
         self.hits += 1
         return traces
+
+    def stream_addrs(
+        self, key: TraceKey, chunk_accesses: int, trace_index: int = 0
+    ) -> Iterator[np.ndarray]:
+        """Yield one cached trace's address column in fixed-size chunks.
+
+        Entries are uncompressed zip archives (``np.savez``), so a member's
+        ``.npy`` payload can be read sequentially without ever materializing
+        the whole array — this is how the streaming characterization
+        profiles paper-scale traces in ``O(chunk)`` memory.  The key echo
+        and the array header (1-D ``int64``, C order) are validated before
+        the first chunk; the full content *digest* is **not** recomputed on
+        this path (that would require reading every column — exactly what
+        streaming avoids), so callers wanting tamper detection must use
+        :meth:`load`.
+
+        Raises ``KeyError`` on a missing entry and ``ValueError`` on a
+        malformed one (callers typically fall back to the regenerating
+        batch path; the entry counts as ``rejected`` either way).
+        """
+        if chunk_accesses < 1:
+            raise ValueError("chunk_accesses must be positive")
+        path = self.path_for(key)
+        if not path.is_file():
+            self.misses += 1
+            raise KeyError(f"no cache entry for {key!r}")
+        counted_hit = False
+        try:
+            with zipfile.ZipFile(path) as archive:
+                meta = self._read_meta(archive)
+                if meta.get("format") != CACHE_FORMAT or meta.get("key") != _key_meta(key):
+                    raise ValueError("cache entry does not match its key")
+                if not 0 <= trace_index < meta["n_traces"]:
+                    raise ValueError(
+                        f"trace_index {trace_index} out of range for entry "
+                        f"with {meta['n_traces']} trace(s)"
+                    )
+                with archive.open(f"addrs_{trace_index}.npy") as member:
+                    (length,), dtype = _read_npy_header(member)
+                    # Counted at the header so an early-stopping consumer
+                    # (max_intervals) still registers as a hit; rolled back
+                    # below if the data turns out corrupt mid-stream.
+                    self.hits += 1
+                    counted_hit = True
+                    remaining = length
+                    while remaining > 0:
+                        count = min(remaining, chunk_accesses)
+                        raw = member.read(count * dtype.itemsize)
+                        if len(raw) != count * dtype.itemsize:
+                            raise ValueError("truncated addrs member")
+                        yield np.frombuffer(raw, dtype=dtype).astype(
+                            np.int64, copy=False
+                        )
+                        remaining -= count
+        except Exception as exc:
+            # Any malformed entry (bad zip, wrong key echo, truncated or
+            # mis-shaped member) is a rejected miss, like load()'s handling.
+            if counted_hit:
+                self.hits -= 1
+            self.rejected += 1
+            self.misses += 1
+            raise ValueError(f"unusable cache entry {path}: {exc}") from exc
+
+    def _read_meta(self, archive: zipfile.ZipFile) -> dict:
+        """The JSON metadata record of an open entry archive."""
+        with archive.open("meta.npy") as member:
+            return json.loads(str(np.lib.format.read_array(member, allow_pickle=False)))
 
     def store(self, key: TraceKey, traces: Sequence[Trace]) -> Path:
         """Persist *traces* under *key* atomically; returns the entry path."""

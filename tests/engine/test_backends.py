@@ -124,6 +124,38 @@ class TestConformance:
         assert runner.backend.name == kind
 
     @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_snug_monitor_plan_bit_identical_across_backends(self, kind):
+        """Streaming-monitor runs (plan.snug_monitor) are a plan property:
+        every backend's workers attach the same online monitor and merge
+        bit-identically to the serial path."""
+        config = tiny_config(seed=7)
+        plan = RunPlan(
+            n_accesses=1_500,
+            target_instructions=25_000,
+            warmup_instructions=15_000,
+            seed=5,
+            cc_probs=(0.0,),
+            snug_monitor=True,
+        )
+        schemes = ("l2p", "snug")
+        serial = [
+            fingerprint(run_combo(m, config, plan, schemes=schemes)) for m in MIXES
+        ]
+        if kind == "socket":
+            harness = _SocketHarness()
+            runner = ParallelRunner(
+                config, plan, schemes=schemes, jobs=2, backend=harness.backend
+            )
+            teardown = harness.join
+        else:
+            backend = ProcessPoolBackend(2) if kind == "process" else InlineBackend()
+            runner = ParallelRunner(config, plan, schemes=schemes, jobs=2, backend=backend)
+            teardown = lambda: None
+        combos = runner.run(MIXES)
+        teardown()
+        assert [fingerprint(c) for c in combos] == serial
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
     def test_resume_mid_sweep_bit_identical(self, kind, tmp_path, serial_fingerprints):
         """Drop two finished tasks from a completed store; resuming on every
         backend recomputes exactly those and merges identically."""

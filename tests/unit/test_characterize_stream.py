@@ -1,0 +1,154 @@
+"""Streaming characterization: bounded-memory path, bit-identical results."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.demand import (
+    characterize_stream,
+    characterize_trace,
+    iter_addr_chunks,
+)
+from repro.common.errors import ConfigError
+from repro.experiments.characterization import figure_distribution
+from repro.workloads.spec2000 import make_benchmark_trace
+from repro.workloads.trace_cache import TraceCache, benchmark_key
+
+
+def test_characterize_stream_matches_batch():
+    trace = make_benchmark_trace("ammp", 16, 6_000, seed=2)
+    want = characterize_trace(trace, 16, interval_accesses=500)
+    got = characterize_stream(
+        iter_addr_chunks(trace, 777),
+        16,
+        name=trace.name,
+        interval_accesses=500,
+    )
+    assert got.name == trace.name
+    assert (got.demand == want.demand).all()
+    assert (got.sizes == want.sizes).all()
+
+
+def test_characterize_stream_max_intervals():
+    trace = make_benchmark_trace("vortex", 8, 4_000, seed=1)
+    want = characterize_trace(trace, 8, interval_accesses=300, max_intervals=5)
+    got = characterize_stream(
+        iter_addr_chunks(trace, 191), 8, interval_accesses=300, max_intervals=5
+    )
+    assert got.intervals == 5
+    assert (got.demand == want.demand).all()
+
+
+def test_characterize_stream_too_short_rejected():
+    with pytest.raises(ConfigError):
+        characterize_stream([np.zeros(5, dtype=np.int64)], 4, interval_accesses=100)
+
+
+def test_iter_addr_chunks_validates_chunk():
+    trace = make_benchmark_trace("gzip", 4, 200, seed=0)
+    with pytest.raises(ConfigError):
+        list(iter_addr_chunks(trace, 0))
+
+
+class TestStreamAddrs:
+    def seed_entry(self, tmp_path, name="gcc", num_sets=8, n=2_000, seed=3):
+        cache = TraceCache(tmp_path)
+        trace = make_benchmark_trace(name, num_sets, n, seed)
+        key = benchmark_key(name, num_sets, n, seed)
+        cache.store(key, [trace])
+        return cache, key, trace
+
+    def test_chunks_reassemble_to_addrs(self, tmp_path):
+        cache, key, trace = self.seed_entry(tmp_path)
+        chunks = list(cache.stream_addrs(key, 300))
+        assert all(len(c) <= 300 for c in chunks)
+        assert (np.concatenate(chunks) == trace.addrs).all()
+        assert cache.hits == 1
+
+    def test_missing_entry_raises_keyerror(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = benchmark_key("gcc", 8, 100, 0)
+        with pytest.raises(KeyError):
+            list(cache.stream_addrs(key, 10))
+        assert cache.misses == 1
+
+    def test_corrupt_entry_rejected(self, tmp_path):
+        cache, key, _trace = self.seed_entry(tmp_path)
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(ValueError):
+            list(cache.stream_addrs(key, 100))
+        assert cache.rejected == 1
+        assert cache.hits == 0  # a mid-stream failure is not a hit
+
+    def test_foreign_dtype_rejected_not_converted(self, tmp_path):
+        # A hand-built/foreign entry with a non-int64 addrs member must be
+        # rejected (regenerating fallback), never silently value-converted.
+        import io
+        import zipfile
+
+        cache, key, trace = self.seed_entry(tmp_path)
+        path = cache.path_for(key)
+        with zipfile.ZipFile(path) as archive:
+            members = {n: archive.read(n) for n in archive.namelist()}
+        buf = io.BytesIO()
+        np.save(buf, trace.addrs.astype(np.float64))
+        members["addrs_0.npy"] = buf.getvalue()
+        with zipfile.ZipFile(path, "w") as archive:
+            for name, data in members.items():
+                archive.writestr(name, data)
+        with pytest.raises(ValueError):
+            list(cache.stream_addrs(key, 100))
+        assert cache.rejected == 1
+
+    def test_wrong_trace_index_rejected(self, tmp_path):
+        cache, key, _trace = self.seed_entry(tmp_path)
+        with pytest.raises(ValueError):
+            list(cache.stream_addrs(key, 100, trace_index=1))
+
+    def test_bad_chunk_rejected(self, tmp_path):
+        cache, key, _trace = self.seed_entry(tmp_path)
+        with pytest.raises(ValueError):
+            next(iter(cache.stream_addrs(key, 0)))
+
+
+class TestFigureDistributionStreaming:
+    def test_stream_matches_batch_without_cache(self):
+        kwargs = dict(num_sets=16, intervals=6, interval_accesses=400, seed=5)
+        want = figure_distribution("ammp", **kwargs)
+        got = figure_distribution("ammp", stream=True, chunk_accesses=333, **kwargs)
+        assert (got.demand == want.demand).all()
+        assert (got.sizes == want.sizes).all()
+
+    def test_stream_reads_cache_entry_from_disk(self, tmp_path):
+        kwargs = dict(num_sets=16, intervals=6, interval_accesses=400, seed=5)
+        want = figure_distribution("vortex", **kwargs)
+        got = figure_distribution(
+            "vortex", stream=True, chunk_accesses=500,
+            trace_cache=str(tmp_path), **kwargs,
+        )
+        assert (got.demand == want.demand).all()
+        # The entry was seeded on first use and is now streamed from disk.
+        cache = TraceCache(tmp_path)
+        key = benchmark_key("vortex", 16, 6 * 400, 5)
+        assert cache.path_for(key).is_file()
+        again = figure_distribution(
+            "vortex", stream=True, chunk_accesses=500,
+            trace_cache=str(tmp_path), **kwargs,
+        )
+        assert (again.demand == want.demand).all()
+
+    def test_stream_survives_corrupt_cache_entry(self, tmp_path):
+        kwargs = dict(num_sets=8, intervals=4, interval_accesses=300, seed=7)
+        want = figure_distribution("gcc", **kwargs)
+        got = figure_distribution(
+            "gcc", stream=True, trace_cache=str(tmp_path), **kwargs
+        )
+        cache = TraceCache(tmp_path)
+        key = benchmark_key("gcc", 8, 4 * 300, 7)
+        path = cache.path_for(key)
+        path.write_bytes(b"not an archive")
+        healed = figure_distribution(
+            "gcc", stream=True, trace_cache=str(tmp_path), **kwargs
+        )
+        assert (got.demand == want.demand).all()
+        assert (healed.demand == want.demand).all()

@@ -38,6 +38,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["survey", "--jobs", "-1"])
 
+    def test_stream_flags(self):
+        args = build_parser().parse_args(["survey", "--stream", "--chunk", "4096"])
+        assert args.stream and args.chunk == 4096
+        args = build_parser().parse_args(["characterize", "ammp", "--stream"])
+        assert args.stream and args.chunk is None
+
+    def test_chunk_requires_stream(self):
+        with pytest.raises(SystemExit):
+            main(["survey", "--chunk", "4096"])
+        with pytest.raises(SystemExit):
+            main(["characterize", "ammp", "--stream", "--chunk", "0"])
+
+    def test_snug_monitor_flag(self):
+        args = build_parser().parse_args(
+            ["run", "--mix", "c3_0", "--snug-monitor"]
+        )
+        assert args.snug_monitor
+        args = build_parser().parse_args(["sweep"])
+        assert not args.snug_monitor
+
     def test_backend_choices(self):
         args = build_parser().parse_args(["run", "--mix", "c3_0", "--backend", "socket"])
         assert args.backend == "socket"

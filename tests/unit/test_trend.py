@@ -7,8 +7,11 @@ import pytest
 from repro.analysis.trend import (
     DEFAULT_BENCHES,
     TrendCheck,
+    append_history,
     check_trend,
     compare_bench,
+    history_record,
+    load_history,
     render_trend,
     trend_ok,
 )
@@ -96,6 +99,49 @@ class TestCheckTrend:
         assert "WARN" in render_trend(checks, relax=True)
 
 
+class TestHistory:
+    def test_record_keeps_headline_fields(self, tmp_path):
+        (tmp_path / "BENCH_sim_speed.json").write_text(
+            json.dumps(doc(1.5, relaxed_timing=False))
+        )
+        rec = history_record(tmp_path, ["sim_speed"], rev="abc123", note="n")
+        assert rec["rev"] == "abc123"
+        assert rec["note"] == "n"
+        assert rec["benches"]["sim_speed"] == {
+            "geomean_speedup": 1.5,
+            "scale": "small",
+            "relaxed_timing": False,
+        }
+
+    def test_missing_bench_recorded_as_hole(self, tmp_path):
+        rec = history_record(tmp_path, ["sim_speed", "profiler"])
+        assert rec["benches"] == {"sim_speed": None, "profiler": None}
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "history.jsonl"
+        append_history(path, {"rev": "a"})
+        append_history(path, {"rev": "b"})
+        assert [e["rev"] for e in load_history(path)] == ["a", "b"]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "none.jsonl") == []
+
+    def test_load_skips_torn_last_line(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, {"rev": "a"})
+        with open(path, "a") as fh:
+            fh.write('{"rev": "tor')  # crash mid-append
+        assert [e["rev"] for e in load_history(path)] == ["a"]
+
+    def test_committed_history_file_is_loadable(self):
+        from pathlib import Path
+
+        history = Path(__file__).resolve().parents[2] / "benchmarks" / "history.jsonl"
+        entries = load_history(history)
+        assert entries, "benchmarks/history.jsonl should hold at least the seed entry"
+        assert all("benches" in e for e in entries)
+
+
 class TestTrendScript:
     def test_cli_script_pass_and_fail(self, tmp_path, monkeypatch):
         import importlib.util
@@ -118,6 +164,17 @@ class TestTrendScript:
         assert mod.main(["--ref", str(ref), "--current", str(cur)]) == 1
         monkeypatch.setenv("REPRO_BENCH_RELAX", "1")
         assert mod.main(["--ref", str(ref), "--current", str(cur)]) == 0
+
+        # --append records the run (regressions included) as one JSON line.
+        history = tmp_path / "history.jsonl"
+        mod.main(["--ref", str(ref), "--current", str(cur), "--append", str(history)])
+        mod.main(["--ref", str(ref), "--current", str(good), "--append", str(history)])
+        from repro.analysis.trend import load_history
+
+        entries = load_history(history)
+        assert len(entries) == 2
+        assert entries[0]["benches"]["sim_speed"]["geomean_speedup"] == 0.5
+        assert entries[1]["benches"]["sim_speed"]["geomean_speedup"] == 2.1
 
     def test_cli_script_refuses_vacuous_defaults(self, tmp_path, monkeypatch):
         """Comparing a directory against itself (or running without any
