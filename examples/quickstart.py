@@ -1,32 +1,48 @@
 #!/usr/bin/env python3
-"""Quickstart: simulate one workload mix under all five L2 organizations.
+"""Quickstart: one scenario, five L2 organizations, Table 5 metrics.
 
-Builds the paper's evaluation pipeline end to end on a laptop-scale system:
+Builds the paper's evaluation pipeline end to end through the declarative
+front door — a single validated :class:`repro.Scenario` contract:
 
-1. pick a Table 8 workload combination (here ``c5_0`` = ammp + parser +
-   swim + mesa: two capacity takers, two donors);
-2. run L2P / L2S / CC(Best) / DSR / SNUG on identical traces;
+1. describe the run: laptop-scale system, one Table 8 combination
+   (``c5_0`` = ammp + parser + swim + mesa: two capacity takers, two
+   donors), the five schemes, and the run sizing;
+2. ``run_scenario`` simulates L2P / L2S / CC(Best) / DSR / SNUG on
+   identical traces;
 3. print Table 5's three metrics, normalized to the private baseline.
+
+The same scenario as a YAML file (see ``docs/scenarios.md``) runs as
+``repro scenario run FILE`` — ``scenario.dumps()`` below prints exactly
+that file, and ``scenario.content_hash()`` is the provenance stamp the
+result store records.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import RunPlan, fast_config, get_mix, run_combo
+from repro import RunPlan, Scenario, SystemSpec, run_scenario
 from repro.analysis.report import render_table
+from repro.scenario import WorkloadSpec
 
 
 def main() -> None:
-    config = fast_config(seed=7)
-    plan = RunPlan(
-        n_accesses=25_000,            # trace length per core
-        target_instructions=300_000,  # measurement window per core
-        warmup_instructions=300_000,  # cache/monitor warmup (paper: 6 B cycles)
+    scenario = Scenario(
+        name="quickstart",
+        description="One C5 combination at laptop scale.",
+        system=SystemSpec(scale="small", seed=7),
+        workload=WorkloadSpec(mixes=("c5_0",)),
+        schemes=("l2p", "l2s", "cc_best", "dsr", "snug"),
+        plan=RunPlan(
+            n_accesses=25_000,            # trace length per core
+            target_instructions=300_000,  # measurement window per core
+            warmup_instructions=300_000,  # cache/monitor warmup (paper: 6 B cycles)
+        ),
     )
-    mix = get_mix("c5_0")
+    [mix] = scenario.build_mixes()
+    print(f"Scenario {scenario.name} (hash {scenario.content_hash()[:12]})")
     print(f"Workload {mix.mix_id} ({mix.mix_class}): {' + '.join(mix.programs)}")
     print("Simulating 5 schemes x 4 cores ... (about a minute)\n")
 
-    combo = run_combo(mix, config, plan)
+    [combo] = run_scenario(scenario)
 
     rows = []
     for scheme in ("l2p", "l2s", "cc_best", "dsr", "snug"):
@@ -45,6 +61,8 @@ def main() -> None:
     remote = sum(v for k, v in snug.stats.items() if k.endswith("remote_hits"))
     print(f"SNUG spilled {spills} blocks; {remote} retrievals hit a peer cache "
           f"at 40 cycles instead of DRAM's 300.")
+    print("\nThe same run as a reusable scenario file:\n")
+    print(scenario.dumps().rstrip())
 
 
 if __name__ == "__main__":

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Mini Figure 9/10/11: sweep one mix per class and compare schemes.
+"""Mini Figure 9/10/11 via the scenario API: one mix per class.
 
-The full 21-combination sweep lives in the benchmark harness
-(benchmarks/test_bench_fig9_throughput.py etc.); this example runs the first
-combination of each class so the whole study finishes in a few minutes and
-prints the three figures side by side.
+The full 21-combination sweep ships as the ``fig9-11-small`` preset
+(``repro scenario run fig9-11-small``); this example builds the same shape
+programmatically — a :class:`repro.Scenario` selecting the first
+combination of each requested class — so the whole study finishes in a few
+minutes and prints the three figures side by side.
 
 Run:  python examples/scheme_comparison.py           (all six classes)
       python examples/scheme_comparison.py C1 C5     (a subset)
@@ -13,21 +14,28 @@ Run:  python examples/scheme_comparison.py           (all six classes)
 import sys
 import time
 
-from repro import RunPlan, fast_config
-from repro.experiments.performance import evaluate_all, render_figure
+from repro import RunPlan, Scenario, SystemSpec, run_scenario
+from repro.experiments.performance import FigureData, render_figure
+from repro.scenario import WorkloadSpec
 
 
 def main() -> None:
     classes = sys.argv[1:] or ["C1", "C2", "C3", "C4", "C5", "C6"]
-    config = fast_config(seed=7)
-    plan = RunPlan(
-        n_accesses=25_000,
-        target_instructions=300_000,
-        warmup_instructions=300_000,
-        cc_probs=(0.0, 0.5, 1.0),
+    scenario = Scenario(
+        name="scheme-comparison",
+        description="First combination of each class at laptop scale.",
+        system=SystemSpec(scale="small", seed=7),
+        workload=WorkloadSpec(classes=tuple(classes), combos_per_class=1),
+        plan=RunPlan(
+            n_accesses=25_000,
+            target_instructions=300_000,
+            warmup_instructions=300_000,
+            cc_probs=(0.0, 0.5, 1.0),
+        ),
     )
+    print(f"Scenario {scenario.name} (hash {scenario.content_hash()[:12]})")
     t0 = time.time()
-    data = evaluate_all(config, plan, classes=classes, combos_per_class=1)
+    data = FigureData(combos=run_scenario(scenario))
     for metric in ("throughput", "aws", "fs"):
         print()
         print(render_figure(data, metric))

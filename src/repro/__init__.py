@@ -13,16 +13,26 @@ The package provides:
   controlled set-level capacity demand, and the Table 8 mixes;
 * :mod:`repro.analysis` — Section 2's demand characterization, Table 5's
   metrics and the Section 3.4 overhead model;
-* :mod:`repro.experiments` — drivers regenerating every figure and table.
+* :mod:`repro.experiments` — drivers regenerating every figure and table;
+* :mod:`repro.scenario` — the declarative front door: one validated,
+  content-hashed :class:`~repro.scenario.model.Scenario` contract (YAML/
+  JSON) describing system + workload + schemes + run plan, with bundled
+  presets and grid expansion.
 
 Quickstart::
 
-    from repro import fast_config, RunPlan, run_combo, get_mix
+    from repro import Scenario, SystemSpec, run_scenario
+    from repro.scenario import WorkloadSpec
 
-    cfg = fast_config()
-    combo = run_combo(get_mix("c3_0"), cfg, RunPlan(n_accesses=20_000,
-                                                    target_instructions=300_000))
+    scenario = Scenario(
+        name="quick",
+        system=SystemSpec(scale="small", seed=7),
+        workload=WorkloadSpec(mixes=("c3_0",)),
+    )
+    [combo] = run_scenario(scenario)
     print(combo.metrics["snug"]["throughput"])   # vs the L2P baseline
+
+or, equivalently, from a file: ``repro scenario run smoke-tiny``.
 """
 
 from .analysis import (
@@ -47,6 +57,15 @@ from .common import (
     tiny_config,
 )
 from .core import CmpSystem, SimResult, TraceCore
+from .scenario import (
+    EngineOptions,
+    Scenario,
+    ScenarioGrid,
+    SystemSpec,
+    load_scenario_file,
+    run_scenario,
+    scenario_from_flags,
+)
 from .experiments import (
     ComboResult,
     RunPlan,
@@ -102,6 +121,13 @@ __all__ = [
     "CmpSystem",
     "SimResult",
     "TraceCore",
+    "EngineOptions",
+    "Scenario",
+    "ScenarioGrid",
+    "SystemSpec",
+    "load_scenario_file",
+    "run_scenario",
+    "scenario_from_flags",
     "ComboResult",
     "RunPlan",
     "evaluate_all",

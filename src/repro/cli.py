@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the library's main entry points:
+Seven subcommands cover the library's main entry points:
 
 ``characterize``
     Section 2 pipeline: per-set demand distribution of one benchmark
@@ -23,6 +23,17 @@ Six subcommands cover the library's main entry points:
     The Figures 9–11 class sweep (optionally restricted to classes /
     combinations) — prints all three figures.
 
+``scenario``
+    The declarative front door: ``repro scenario run|validate|expand FILE``
+    loads a YAML/JSON scenario (or scenario grid) file — one validated,
+    content-hashed contract naming the system, workload, schemes and run
+    plan (see ``docs/scenarios.md``).  Bundled presets under
+    ``src/repro/scenario/presets/`` are addressable by bare name
+    (``repro scenario run smoke-tiny``).  ``run`` and ``sweep`` are thin
+    adapters over the same contract: they build a scenario internally from
+    their flags (snapshot it with ``--dump-scenario PATH``) and produce
+    bit-identical results to the equivalent scenario file.
+
 ``overhead``
     The analytic Tables 2 and 3.
 
@@ -30,16 +41,20 @@ Six subcommands cover the library's main entry points:
     Execution worker for distributed sweeps: connects to a ``--backend
     socket`` coordinator and pulls task chunks until told to shut down.
 
-All commands accept ``--scale {tiny,small,medium,paper}`` and ``--seed``.
-``run`` and ``sweep`` additionally accept the parallel-engine flags
-``--jobs N`` (simulate combinations' schemes across N worker processes),
-``--backend {inline,process,socket}`` (execution transport; ``socket``
-listens on ``--bind HOST:PORT`` for ``repro worker`` processes),
-``--store DIR`` (persist per-task results as JSON), ``--resume`` (skip
-tasks already completed in the store) and ``--snug-monitor`` (SNUG
-classifies sets from an online streaming demand monitor; a plan property,
-so it behaves identically under every backend) — see :mod:`repro.engine`.
-Every backend produces bit-identical results to the serial path.
+All commands accept ``--scale {tiny,small,medium,paper}`` and ``--seed``
+(ignored by ``scenario``, whose files carry their own scale and seeds).
+``run``, ``sweep`` and ``scenario run`` additionally accept the
+parallel-engine flags ``--jobs N`` (simulate combinations' schemes across N
+worker processes), ``--backend {inline,process,socket}`` (execution
+transport; ``socket`` listens on ``--bind HOST:PORT`` for ``repro worker``
+processes), ``--store DIR`` (persist per-task results as JSON; the
+manifest is stamped with the scenario's content hash) and ``--resume``
+(skip tasks already completed in the store — refused when the store was
+produced by a different scenario).  ``run`` and ``sweep`` also take
+``--snug-monitor`` (SNUG classifies sets from an online streaming demand
+monitor; a plan property, so it behaves identically under every backend) —
+see :mod:`repro.engine`.  Every backend produces bit-identical results to
+the serial path.
 
 Trace provisioning everywhere is two-tier: ``--trace-cache DIR`` (default
 ``$REPRO_TRACE_CACHE``) names the shared on-disk
@@ -60,7 +75,8 @@ from typing import List, Optional, Sequence
 from .analysis.overhead import SnugOverheadModel
 from .analysis.report import format_pct, render_combo_metrics, render_table
 from .common.config import SCALE_NAMES, scaled_config
-from .engine import BACKENDS, DEFAULT_SCHEMES, ParallelRunner, make_backend, run_worker
+from .common.errors import ReproError
+from .engine import BACKENDS, DEFAULT_SCHEMES, ParallelRunner, run_worker
 from .experiments.characterization import (
     figure_distribution,
     non_uniform_names,
@@ -68,33 +84,23 @@ from .experiments.characterization import (
     render_survey,
     survey_26,
 )
-from .experiments.performance import FigureData, evaluate_all, render_figure, select_mixes
-from .experiments.runner import ComboResult, RunPlan, run_combo
+from .experiments.performance import FigureData, render_figure
+from .experiments.runner import ComboResult
+from .scenario import (
+    EngineOptions,
+    Scenario,
+    ScenarioExecution,
+    ScenarioGrid,
+    expand_scenario_file,
+    load_scenario_file,
+    scenario_from_flags,
+)
 from .schemes.factory import SCHEMES
-from .workloads.mixes import MIXES, WorkloadMix, get_mix, mix_classes
+from .workloads.mixes import MIXES, mix_classes
 from .workloads.spec2000 import benchmark_names
 from .workloads.trace_cache import resolve_cache_root
 
 __all__ = ["main", "build_parser"]
-
-#: Per-scale run sizing: (n_accesses, target_instructions, warmup).
-_PLAN_SIZING = {
-    "tiny": (4_000, 60_000, 40_000),
-    "small": (25_000, 300_000, 300_000),
-    "medium": (60_000, 800_000, 800_000),
-    "paper": (400_000, 5_000_000, 5_000_000),
-}
-
-
-def _plan_for(scale: str, seed: int, snug_monitor: bool = False) -> RunPlan:
-    n_acc, target, warmup = _PLAN_SIZING[scale]
-    return RunPlan(
-        n_accesses=n_acc,
-        target_instructions=target,
-        warmup_instructions=warmup,
-        seed=seed,
-        snug_monitor=snug_monitor,
-    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,8 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     # One definition of --trace-cache shared by every command that touches
-    # trace provisioning (run/sweep via engine_flags, characterize/survey
-    # via stream_flags) — the help text can't drift between them.
+    # trace provisioning (run/sweep/scenario-run via engine_flags,
+    # characterize/survey via stream_flags) — the help text can't drift.
     cache_flags = argparse.ArgumentParser(add_help=False)
     cache_flags.add_argument(
         "--trace-cache", default=None, metavar="DIR",
@@ -125,11 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_flags.add_argument(
         "--store", default=None, metavar="DIR",
-        help="parallel engine: persist per-task results as JSON under DIR",
+        help="parallel engine: persist per-task results as JSON under DIR "
+             "(manifest stamped with the scenario content hash)",
     )
     engine_flags.add_argument(
         "--resume", action="store_true",
-        help="parallel engine: skip tasks already completed in --store",
+        help="parallel engine: skip tasks already completed in --store "
+             "(refused when the store was produced by a different scenario)",
     )
     engine_flags.add_argument(
         "--backend", choices=sorted(BACKENDS), default=None,
@@ -142,11 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket backend: coordinator listen address "
              "(default 127.0.0.1:0 = any free port, printed at startup)",
     )
-    engine_flags.add_argument(
+
+    # run/sweep only: the scenario file carries its own snug_monitor flag.
+    monitor_flags = argparse.ArgumentParser(add_help=False)
+    monitor_flags.add_argument(
         "--snug-monitor", action="store_true",
         help="SNUG schemes classify sets from an online streaming "
              "stack-distance monitor instead of the hardware counters "
              "(works identically under every backend)",
+    )
+    monitor_flags.add_argument(
+        "--dump-scenario", default=None, metavar="PATH",
+        help="snapshot this invocation's resolved configuration as a "
+             "reusable scenario file (.yaml or .json) before running",
     )
 
     stream_flags = argparse.ArgumentParser(add_help=False, parents=[cache_flags])
@@ -198,7 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
              "memo on top — output identical to the serial run",
     )
 
-    p_run = sub.add_parser("run", help="simulate one workload mix", parents=[engine_flags])
+    p_run = sub.add_parser(
+        "run", help="simulate one workload mix",
+        parents=[engine_flags, monitor_flags],
+    )
     group = p_run.add_mutually_exclusive_group(required=True)
     group.add_argument("--mix", choices=[m.mix_id for m in MIXES])
     group.add_argument("--programs", nargs=4, metavar="PROG",
@@ -210,12 +229,49 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[*SCHEMES, "cc_best"],
     )
 
-    p_sweep = sub.add_parser("sweep", help="class sweep (Figures 9-11)", parents=[engine_flags])
+    p_sweep = sub.add_parser(
+        "sweep", help="class sweep (Figures 9-11)",
+        parents=[engine_flags, monitor_flags],
+    )
     p_sweep.add_argument("--classes", nargs="+", choices=mix_classes(), default=None)
     p_sweep.add_argument(
         "--combos-per-class", type=int, default=None, metavar="K",
         help="limit each workload class to its first K combinations "
              "(default: all)",
+    )
+
+    p_scenario = sub.add_parser(
+        "scenario",
+        help="declarative scenario files: run, validate, or expand "
+             "(bundled presets addressable by name; see docs/scenarios.md)",
+    )
+    scen_sub = p_scenario.add_subparsers(dest="scenario_command", required=True)
+    p_sval = scen_sub.add_parser(
+        "validate", help="load and fully validate scenario/grid files"
+    )
+    p_sval.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="scenario or grid files (YAML/JSON), or bundled preset names",
+    )
+    p_sexp = scen_sub.add_parser(
+        "expand", help="expand a scenario grid into concrete scenarios"
+    )
+    p_sexp.add_argument(
+        "file", metavar="FILE",
+        help="scenario or grid file (YAML/JSON), or a bundled preset name",
+    )
+    p_sexp.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write each expanded scenario as YAML under DIR "
+             "(default: list names and content hashes to stdout)",
+    )
+    p_srun = scen_sub.add_parser(
+        "run", parents=[engine_flags],
+        help="run a scenario (or every scenario of a grid) file",
+    )
+    p_srun.add_argument(
+        "file", metavar="FILE",
+        help="scenario or grid file (YAML/JSON), or a bundled preset name",
     )
 
     sub.add_parser("overhead", help="storage-overhead analysis (Tables 2-3)")
@@ -280,16 +336,6 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
-def _engine_requested(args: argparse.Namespace) -> bool:
-    return (
-        args.jobs is not None
-        or args.store is not None
-        or args.resume
-        or args.backend is not None
-        or args.trace_cache is not None
-    )
-
-
 def _parse_hostport(value: str) -> Optional[tuple[str, int]]:
     """``"HOST:PORT"`` as a tuple, or ``None`` if malformed (validated in main)."""
     host, sep, port = value.rpartition(":")
@@ -298,30 +344,21 @@ def _parse_hostport(value: str) -> Optional[tuple[str, int]]:
     return host, int(port)
 
 
-def _make_engine(args: argparse.Namespace, config, plan, schemes) -> ParallelRunner:
-    # --store/--resume without --jobs wants the store, not parallelism:
-    # run tasks in-process (jobs=0) rather than paying a 1-worker pool.
-    cache_root = resolve_cache_root(args.trace_cache)
-    backend = None
-    jobs = 0 if args.jobs is None else args.jobs
-    if args.backend is not None:
-        if args.backend == "process" and args.jobs is None:
-            jobs = os.cpu_count() or 1
-        if args.backend == "socket" and args.jobs is None:
-            jobs = 4  # chunk-splitting hint: assume a few workers
-        bind = _parse_hostport(args.bind) if args.bind is not None else None
-        backend = make_backend(
-            args.backend, jobs=jobs, cache_root=cache_root, bind=bind
-        )
-    return ParallelRunner(
-        config,
-        plan,
-        schemes=schemes,
-        jobs=jobs,
-        store=args.store,
+def _engine_options(args: argparse.Namespace, store: str | None = None) -> EngineOptions:
+    """The :class:`EngineOptions` a run/sweep/scenario-run invocation asks for.
+
+    ``trace_cache`` is the *explicit* flag value: $REPRO_TRACE_CACHE is
+    applied later (by the engine's cache-root resolution), so the ambient
+    environment alone never switches a plain run onto the engine path.
+    """
+    bind = _parse_hostport(args.bind) if args.bind is not None else None
+    return EngineOptions(
+        jobs=args.jobs,
+        store=store if store is not None else args.store,
         resume=args.resume,
-        backend=backend,
-        trace_cache=cache_root,
+        backend=args.backend,
+        bind=bind,
+        trace_cache=args.trace_cache,
     )
 
 
@@ -352,6 +389,41 @@ def _report_engine(runner: ParallelRunner) -> None:
     )
 
 
+def _execute(scenario: Scenario, options: EngineOptions) -> List[ComboResult]:
+    """Run one scenario, wrapping the engine banners around the engine path."""
+    execution = ScenarioExecution(scenario, options)
+    if execution.runner is not None:
+        _announce_engine(execution.runner)
+    combos = execution.run()
+    if execution.runner is not None:
+        _report_engine(execution.runner)
+    return combos
+
+
+def _dump_scenario_if_asked(scenario: Scenario, args: argparse.Namespace) -> None:
+    if args.dump_scenario:
+        scenario.dump(args.dump_scenario)
+        print(
+            f"scenario written to {args.dump_scenario} "
+            f"(hash {scenario.content_hash()[:12]}; "
+            f"re-run with: repro scenario run {args.dump_scenario})"
+        )
+
+
+def _render_combos(combos: List[ComboResult]) -> None:
+    """Single combo -> Table 5 metrics; multiple -> the three figures."""
+    if len(combos) == 1:
+        combo = combos[0]
+        print(render_combo_metrics(combo.metrics))
+        if combo.cc_best_prob is not None:
+            print(f"CC(Best) spill probability: {combo.cc_best_prob:.0%}")
+        return
+    data = FigureData(combos=combos)
+    for metric in ("throughput", "aws", "fs"):
+        print()
+        print(render_figure(data, metric))
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     host, port = _parse_hostport(args.connect)
     chunks = run_worker(
@@ -365,47 +437,110 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = scaled_config(args.scale, seed=args.seed)
-    plan = _plan_for(args.scale, args.seed, snug_monitor=args.snug_monitor)
-    if args.mix:
-        mix = get_mix(args.mix)
-    else:
-        mix = WorkloadMix(mix_id="custom", mix_class="custom",
-                          programs=tuple(args.programs))
+    scenario = scenario_from_flags(
+        scale=args.scale,
+        seed=args.seed,
+        mix=args.mix,
+        programs=args.programs,
+        schemes=tuple(args.schemes),
+        snug_monitor=args.snug_monitor,
+    )
+    _dump_scenario_if_asked(scenario, args)
+    [mix] = scenario.build_mixes()
     print(f"mix {mix.mix_id}: {' + '.join(mix.programs)}  (scale={args.scale})")
-    combo: ComboResult
-    if _engine_requested(args):
-        runner = _make_engine(args, config, plan, tuple(args.schemes))
-        _announce_engine(runner)
-        [combo] = runner.run([mix])
-        _report_engine(runner)
-    else:
-        combo = run_combo(mix, config, plan, schemes=tuple(args.schemes))
-    print(render_combo_metrics(combo.metrics))
-    if combo.cc_best_prob is not None:
-        print(f"CC(Best) spill probability: {combo.cc_best_prob:.0%}")
+    combos = _execute(scenario, _engine_options(args))
+    _render_combos(combos)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    config = scaled_config(args.scale, seed=args.seed)
-    plan = _plan_for(args.scale, args.seed, snug_monitor=args.snug_monitor)
-    if _engine_requested(args):
-        mixes = select_mixes(args.classes, args.combos_per_class)
-        runner = _make_engine(args, config, plan, DEFAULT_SCHEMES)
-        _announce_engine(runner)
-        data = FigureData(combos=runner.run(mixes))
-        _report_engine(runner)
-    else:
-        data = evaluate_all(
-            config,
-            plan,
-            classes=args.classes,
-            combos_per_class=args.combos_per_class,
-        )
+    scenario = scenario_from_flags(
+        scale=args.scale,
+        seed=args.seed,
+        classes=args.classes,
+        combos_per_class=args.combos_per_class,
+        snug_monitor=args.snug_monitor,
+    )
+    _dump_scenario_if_asked(scenario, args)
+    combos = _execute(scenario, _engine_options(args))
+    data = FigureData(combos=combos)
     for metric in ("throughput", "aws", "fs"):
         print()
         print(render_figure(data, metric))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "validate":
+        failures = 0
+        for file in args.files:
+            try:
+                loaded = load_scenario_file(file)
+                if isinstance(loaded, ScenarioGrid):
+                    points = loaded.expand()
+                    print(f"OK {file}: grid {loaded.name!r} expands to "
+                          f"{len(points)} valid scenario(s)")
+                else:
+                    print(f"OK {file}: scenario {loaded.name!r} "
+                          f"(hash {loaded.content_hash()[:12]}, "
+                          f"{len(loaded.build_mixes())} mix(es), "
+                          f"{len(loaded.schemes)} scheme(s))")
+            except ReproError as exc:
+                failures += 1
+                print(f"FAIL {file}: {exc}", file=sys.stderr)
+        return 1 if failures else 0
+
+    if args.scenario_command == "expand":
+        try:
+            scenarios = expand_scenario_file(args.file)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            for scenario in scenarios:
+                scenario.dump(os.path.join(args.out, f"{scenario.name}.yaml"))
+            print(f"wrote {len(scenarios)} scenario file(s) to {args.out}")
+        else:
+            for scenario in scenarios:
+                print(f"{scenario.name}  (hash {scenario.content_hash()[:12]})")
+        return 0
+
+    # scenario run
+    try:
+        scenarios = expand_scenario_file(args.file)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    multi = len(scenarios) > 1
+    if multi and args.backend == "socket":
+        # Each grid point builds its own coordinator, and a point's clean
+        # shutdown tells every connected worker to exit — the second point
+        # would wait for workers that are gone.  Point the user at the
+        # per-point workflow instead of stalling for worker_wait seconds.
+        print(
+            "error: --backend socket runs one scenario per coordinator; "
+            f"{args.file} expands to {len(scenarios)} scenarios — "
+            "`repro scenario expand --out DIR` them and run each file with "
+            "its own --bind/worker set",
+            file=sys.stderr,
+        )
+        return 1
+    for scenario in scenarios:
+        mixes = scenario.build_mixes()
+        print(
+            f"scenario {scenario.name} (hash {scenario.content_hash()[:12]}): "
+            f"{len(mixes)} mix(es) x {len(scenario.schemes)} scheme(s)"
+        )
+        # Each grid point gets its own store subdirectory: the manifest is
+        # per-scenario, so two points must not share one manifest.
+        store = args.store
+        if store is not None and multi:
+            store = os.path.join(store, scenario.name)
+        combos = _execute(scenario, _engine_options(args, store=store))
+        _render_combos(combos)
+        if multi:
+            print()
     return 0
 
 
@@ -428,6 +563,7 @@ _COMMANDS = {
     "survey": _cmd_survey,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "scenario": _cmd_scenario,
     "overhead": _cmd_overhead,
     "worker": _cmd_worker,
 }
@@ -439,7 +575,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     # Validate engine flags at the CLI boundary: a usage error beats an
     # EngineError traceback from deep inside ParallelRunner.
-    if args.command in ("run", "sweep"):
+    engine_command = args.command in ("run", "sweep") or (
+        args.command == "scenario" and args.scenario_command == "run"
+    )
+    if engine_command:
         if args.resume and args.store is None:
             parser.error("--resume requires --store DIR")
         if args.jobs is not None and args.jobs < 0:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 from ..common.config import SystemConfig
 from ..common.errors import EngineError
@@ -34,6 +34,9 @@ from .backends import ExecutionBackend, InlineBackend, ProcessPoolBackend, make_
 from .execution import execute_task, execute_task_chunk  # re-export (compat)
 from .store import ResultStore
 from .tasks import SimTask, expand_mix_tasks
+
+if TYPE_CHECKING:  # the scenario layer imports the engine, not vice versa
+    from ..scenario.model import Scenario
 
 __all__ = ["ParallelRunner", "execute_task", "execute_task_chunk", "DEFAULT_SCHEMES"]
 
@@ -67,6 +70,12 @@ class ParallelRunner:
         :mod:`repro.workloads.trace_cache`); ``None`` keeps the per-process
         memo only.  Ignored when *backend* is passed as an instance (the
         instance already carries its cache root).
+    scenario:
+        The :class:`~repro.scenario.model.Scenario` this run realizes, if it
+        was described by one.  Its name and content hash are stamped into
+        the result-store manifest, so a later ``--resume`` against results
+        produced by a *different* scenario fails upfront instead of silently
+        merging incomparable result sets.
     """
 
     def __init__(
@@ -80,6 +89,7 @@ class ParallelRunner:
         resume: bool = False,
         backend: ExecutionBackend | str | None = None,
         trace_cache: str | None = None,
+        scenario: "Scenario | None" = None,
     ) -> None:
         if jobs < 0:
             raise EngineError("jobs must be >= 0 (0 = run tasks in-process)")
@@ -100,6 +110,7 @@ class ParallelRunner:
         self.backend: ExecutionBackend = backend
         self.store = ResultStore(store) if store is not None else None
         self.resume = resume
+        self.scenario = scenario
         # Filled by run() for reporting (CLI summary line, resume tests).
         self.tasks_total = 0
         self.tasks_resumed = 0
@@ -113,11 +124,17 @@ class ParallelRunner:
     def _manifest(self) -> dict:
         plan = dataclasses.asdict(self.plan)
         plan["cc_probs"] = list(plan["cc_probs"])
-        return {
+        manifest = {
             "config": dataclasses.asdict(self.config),
             "plan": plan,
             "schemes": normalize_schemes(self.schemes),
         }
+        if self.scenario is not None:
+            manifest["scenario"] = {
+                "name": self.scenario.name,
+                "hash": self.scenario.content_hash(),
+            }
+        return manifest
 
     # -- execution ---------------------------------------------------------
 

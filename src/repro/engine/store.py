@@ -2,7 +2,7 @@
 
 Layout (see the package docstring)::
 
-    <root>/manifest.json          -- config/plan/schemes fingerprint
+    <root>/manifest.json          -- config/plan/schemes (+ scenario) fingerprint
     <root>/results/<task_id>.json -- one finished task each
 
 Python's ``json`` serializes floats with ``repr`` (shortest round-trip
@@ -25,6 +25,20 @@ __all__ = ["ResultStore"]
 
 #: Bumped when the store layout or result schema changes incompatibly.
 STORE_VERSION = 1
+
+
+def _comparable(manifest: dict) -> dict:
+    """A manifest reduced to its identity-relevant fields.
+
+    The scenario *name* is cosmetic (the content hash is the identity): a
+    preset and the flag-driven invocation that builds the identical contract
+    may resume each other's stores even though their names differ.
+    """
+    out = json.loads(json.dumps(manifest))
+    scenario = out.get("scenario")
+    if isinstance(scenario, dict):
+        scenario.pop("name", None)
+    return out
 
 
 def _atomic_write_json(path: Path, payload: dict) -> None:
@@ -63,14 +77,40 @@ class ResultStore:
                     "the store directory is damaged — delete it (or point at a "
                     "fresh one) and re-run"
                 ) from None
-            if existing != stamped:
-                raise EngineError(
-                    f"result store {self.root} was created with a different "
-                    "config/plan/scheme set; use a fresh store directory "
-                    "(or the matching parameters) instead of mixing results"
-                )
+            if _comparable(existing) != _comparable(stamped):
+                raise EngineError(self._mismatch_message(existing, stamped))
         else:
             _atomic_write_json(self.manifest_path, stamped)
+
+    def _mismatch_message(self, existing: dict, stamped: dict) -> str:
+        """Actionable description of a manifest conflict.
+
+        When both manifests carry a scenario stamp (every CLI run does since
+        the scenario layer), name the two scenarios and their content hashes
+        — "which run produced this store" beats "some parameter differs".
+        """
+        old = existing.get("scenario") or {}
+        new = stamped.get("scenario") or {}
+        if old.get("hash") != new.get("hash") and (old or new):
+            def label(stamp: dict) -> str:
+                if not stamp:
+                    return "an unstamped (pre-scenario or API-driven) run"
+                return (
+                    f"scenario {stamp.get('name', '?')!r} "
+                    f"(hash {str(stamp.get('hash', '?'))[:12]})"
+                )
+
+            return (
+                f"result store {self.root} holds results produced by "
+                f"{label(old)}, but this run is {label(new)}; resuming would "
+                "merge incomparable results — use a fresh --store directory, "
+                "or re-run the scenario that created this store"
+            )
+        return (
+            f"result store {self.root} was created with a different "
+            "config/plan/scheme set; use a fresh store directory "
+            "(or the matching parameters) instead of mixing results"
+        )
 
     # -- task results ------------------------------------------------------
 

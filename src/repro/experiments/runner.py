@@ -215,15 +215,21 @@ def merge_task_results(
 
 
 def run_combo(
-    mix: WorkloadMix,
-    config: SystemConfig,
-    plan: RunPlan,
+    mix: "WorkloadMix",
+    config: SystemConfig | None = None,
+    plan: RunPlan | None = None,
     schemes: Sequence[str] = DEFAULT_SCHEMES,
 ) -> ComboResult:
     """Run a Table 8 combination under the requested schemes.
 
     ``"cc_best"`` triggers the spill-probability sweep; any other name is
     instantiated directly.  The L2P baseline is always run (metrics need it).
+
+    *mix* may also be a single-mix :class:`~repro.scenario.model.Scenario`
+    (the declarative contract), in which case *config*/*plan*/*schemes* are
+    taken from the scenario and must not be passed separately::
+
+        run_combo(Scenario.load("my_run.yaml"))
 
     Since the backend refactor this is the engine's inline path in
     miniature: the mix expands into tasks, executes through
@@ -232,6 +238,29 @@ def run_combo(
     :func:`merge_task_results` — one code path whether a combination runs
     serially or fanned out across processes or machines.
     """
+    if not isinstance(mix, WorkloadMix):
+        # A Scenario (duck-typed: the scenario layer imports this module, so
+        # the reverse edge must stay out of import time).
+        scenario = mix
+        if config is not None or plan is not None:
+            raise ConfigError(
+                "run_combo(scenario): pass either a Scenario alone or the "
+                "classic (mix, config, plan) triple, not both"
+            )
+        mixes = scenario.build_mixes()
+        if len(mixes) != 1:
+            raise ConfigError(
+                f"run_combo needs a single-mix scenario; {scenario.name!r} "
+                f"resolves {len(mixes)} mixes — use repro.scenario."
+                "run_scenario (or `repro scenario run`) for multi-mix runs"
+            )
+        mix = mixes[0]
+        config = scenario.build_config()
+        plan = scenario.plan
+        schemes = scenario.schemes
+    if config is None or plan is None:
+        raise ConfigError("run_combo needs a config and a plan (or a Scenario)")
+
     # Imported here, not at module level: the engine imports this module
     # (RunPlan, run_traces, merge_task_results), so the reverse edge must
     # stay out of import time.

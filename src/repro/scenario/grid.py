@@ -1,0 +1,215 @@
+"""Scenario grids: a base scenario plus axes, expanded to concrete scenarios.
+
+The paper's figure sweeps — and arbitrary new ones — are cross-products of
+a few knobs over one base configuration.  A :class:`ScenarioGrid` expresses
+that as data::
+
+    grid: 1
+    name: epoch-sensitivity
+    base:
+      system: {scale: tiny, seed: 7}
+      workload: {classes: [C5], combos_per_class: 1}
+    axes:
+      system.overrides.snug.identify_cycles: [15000, 30000, 60000]
+      plan.seed: [1, 2]
+
+``expand()`` materializes the cross-product in declaration order (first axis
+slowest), applies each combination to a deep copy of ``base`` via the dotted
+paths, names each point ``<grid name>__<axis>=<value>__...``, and validates
+every resulting :class:`~repro.scenario.model.Scenario` — so a malformed
+grid point fails at expansion with the full field path, before anything
+runs.  Expansion is deterministic and duplicate-free: axis values must be
+unique within an axis, and the generated names are checked for collisions.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+from ..common.errors import ConfigError
+from .model import SCHEMA_VERSION, Scenario
+from .serde import (
+    as_str,
+    detect_format,
+    dump_text,
+    parse_text,
+    reject_unknown,
+    require_mapping,
+    take,
+)
+
+__all__ = ["ScenarioGrid", "GRID_SCHEMA_VERSION"]
+
+#: Bumped when the grid file schema changes incompatibly.
+GRID_SCHEMA_VERSION = 1
+
+#: Ceiling on one grid's cross-product — a typo'd axis must not OOM the CLI.
+MAX_GRID_POINTS = 10_000
+
+_NAME_SAFE = re.compile(r"[^A-Za-z0-9._,=-]+")
+
+
+def _fmt_value(value: Any) -> str:
+    """A short, file-safe rendering of one axis value for scenario names."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (list, tuple)):
+        return ",".join(_fmt_value(v) for v in value)
+    if isinstance(value, float):
+        # 'g' can emit '1e+07'; dropping the '+' keeps the name file-safe
+        # while staying distinct from negative exponents ('1e-07').
+        return _NAME_SAFE.sub("-", format(value, "g").replace("+", ""))
+    return _NAME_SAFE.sub("-", str(value))
+
+
+def _set_dotted(data: Dict[str, Any], dotted: str, value: Any) -> None:
+    """Set ``data[a][b][c] = value`` for path ``a.b.c``, creating mappings."""
+    parts = dotted.split(".")
+    node = data
+    for part in parts[:-1]:
+        child = node.get(part)
+        if child is None:
+            child = node[part] = {}
+        elif not isinstance(child, dict):
+            raise ConfigError(
+                f"axes.{dotted}: path component {part!r} is not a mapping "
+                "in the base scenario"
+            )
+        node = child
+    node[parts[-1]] = copy.deepcopy(value)
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """A base scenario mapping plus ordered value axes."""
+
+    name: str
+    base: Mapping[str, Any]
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name.strip():
+            raise ConfigError("grid name: expected a non-empty string")
+        require_mapping(self.base, "base")
+        object.__setattr__(self, "base", copy.deepcopy(dict(self.base)))
+        axes = tuple((path, tuple(values)) for path, values in self.axes)
+        object.__setattr__(self, "axes", axes)
+        seen_paths = set()
+        total = 1
+        for path, values in axes:
+            if not isinstance(path, str) or not path:
+                raise ConfigError(f"axes: axis path {path!r} must be a dotted string")
+            if path in seen_paths:
+                raise ConfigError(f"axes.{path}: duplicate axis path")
+            seen_paths.add(path)
+            if not values:
+                raise ConfigError(f"axes.{path}: an axis needs at least one value")
+            rendered = [_fmt_value(v) for v in values]
+            if len(set(rendered)) != len(rendered):
+                raise ConfigError(
+                    f"axes.{path}: axis values must be distinct "
+                    "(duplicates would expand to colliding scenarios)"
+                )
+            total *= len(values)
+        if total > MAX_GRID_POINTS:
+            raise ConfigError(
+                f"grid expands to {total} scenarios, above the "
+                f"{MAX_GRID_POINTS}-point ceiling — split the sweep"
+            )
+
+    # -- expansion ---------------------------------------------------------
+
+    def expand(self) -> List[Scenario]:
+        """All grid points as validated scenarios, in axis-declaration order."""
+        # Short suffix labels: the last path component, unless two axes share
+        # it (then the full dotted path disambiguates).
+        lasts = [path.rsplit(".", 1)[-1] for path, _ in self.axes]
+        labels = [
+            last if lasts.count(last) == 1 else path
+            for (path, _), last in zip(self.axes, lasts)
+        ]
+        scenarios: List[Scenario] = []
+        names = set()
+        value_lists = [values for _, values in self.axes]
+        for combo in itertools.product(*value_lists):
+            data = copy.deepcopy(self.base)
+            data.setdefault("scenario", SCHEMA_VERSION)
+            for (path, _), value in zip(self.axes, combo):
+                _set_dotted(data, path, value)
+            suffix = "__".join(
+                f"{label}={_fmt_value(value)}"
+                for label, value in zip(labels, combo)
+            )
+            name = f"{self.name}__{suffix}" if suffix else self.name
+            if name in names:
+                raise ConfigError(
+                    f"grid expansion produced duplicate scenario name {name!r}; "
+                    "make the colliding axis values distinguishable"
+                )
+            names.add(name)
+            data["name"] = name
+            try:
+                scenarios.append(Scenario.from_dict(data))
+            except ConfigError as exc:
+                raise ConfigError(f"grid point {name!r}: {exc}") from None
+        return scenarios
+
+    # -- serde -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"grid": GRID_SCHEMA_VERSION, "name": self.name}
+        if self.description:
+            out["description"] = self.description
+        out["base"] = copy.deepcopy(dict(self.base))
+        out["axes"] = {path: list(values) for path, values in self.axes}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping, path: str = "grid") -> "ScenarioGrid":
+        require_mapping(data, path)
+        reject_unknown(data, ("grid", "name", "description", "base", "axes"), path)
+        version = take(data, "grid", path)
+        if version != GRID_SCHEMA_VERSION:
+            raise ConfigError(
+                f"{path}.grid: unsupported grid schema version {version!r} "
+                f"(this toolkit reads version {GRID_SCHEMA_VERSION})"
+            )
+        name = as_str(take(data, "name", path), f"{path}.name")
+        description = take(data, "description", path, "")
+        if not isinstance(description, str):
+            raise ConfigError(f"{path}.description: expected a string")
+        base = require_mapping(take(data, "base", path), f"{path}.base")
+        axes_map = require_mapping(take(data, "axes", path, {}), f"{path}.axes")
+        axes = []
+        for axis_path, values in axes_map.items():
+            if not isinstance(values, (list, tuple)):
+                raise ConfigError(
+                    f"{path}.axes.{axis_path}: expected a list of values"
+                )
+            axes.append((str(axis_path), tuple(values)))
+        try:
+            return cls(name=name, base=base, axes=tuple(axes), description=description)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from None
+
+    def dumps(self, fmt: str = "yaml") -> str:
+        return dump_text(self.to_dict(), fmt)
+
+    @classmethod
+    def loads(cls, text: str, fmt: str = "yaml") -> "ScenarioGrid":
+        return cls.from_dict(parse_text(text, fmt, label="grid"))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ScenarioGrid":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ConfigError(f"cannot read grid file {path}: {exc}") from None
+        return cls.loads(text, detect_format(path))

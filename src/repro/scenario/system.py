@@ -1,0 +1,156 @@
+"""Declarative system section: a named scale plus sparse field overrides.
+
+A scenario does not spell out the full :class:`~repro.common.config.
+SystemConfig` (30+ fields, most of them Table 4 constants).  It names one of
+the shipped scale presets (``tiny``/``small``/``medium``/``paper``) and
+overrides only the fields under study::
+
+    system:
+      scale: small
+      seed: 7
+      overrides:
+        l2: {size_bytes: 131072}
+        snug: {identify_cycles: 300000}
+
+:meth:`SystemSpec.build` resolves that to a fully-validated frozen
+``SystemConfig``; every validation error (unknown field, non-power-of-two
+geometry, ...) is re-raised as a :class:`~repro.common.errors.ConfigError`
+prefixed with the dotted field path (``system.l2: ...``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from ..common.config import (
+    SCALE_NAMES,
+    BusConfig,
+    CacheGeometry,
+    CcConfig,
+    DramConfig,
+    DsrConfig,
+    LatencyConfig,
+    SnugConfig,
+    SystemConfig,
+    WriteBufferConfig,
+    scaled_config,
+)
+from ..common.errors import ConfigError
+from .serde import as_int, as_str, reject_unknown, require_mapping, take
+
+__all__ = ["SystemSpec"]
+
+#: Nested SystemConfig sections an override block may address.
+_SECTIONS = {
+    "l2": CacheGeometry,
+    "latency": LatencyConfig,
+    "bus": BusConfig,
+    "dram": DramConfig,
+    "write_buffer": WriteBufferConfig,
+    "cc": CcConfig,
+    "dsr": DsrConfig,
+    "snug": SnugConfig,
+}
+
+#: Top-level scalar SystemConfig fields an override block may set.
+_SCALARS = ("num_cores", "address_bits", "base_cpi", "seed")
+
+
+def _deep_plain(value: Any) -> Any:
+    """Copy nested mappings into plain dicts (frozen specs must not alias
+    caller-owned mutable state)."""
+    if isinstance(value, Mapping):
+        return {k: _deep_plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_deep_plain(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """The ``system:`` section of a scenario."""
+
+    scale: str = "small"
+    seed: int | None = None
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scale not in SCALE_NAMES:
+            raise ConfigError(
+                f"system.scale: unknown scale {self.scale!r}; "
+                f"expected one of {SCALE_NAMES}"
+            )
+        if self.seed is not None and (
+            isinstance(self.seed, bool) or not isinstance(self.seed, int)
+        ):
+            raise ConfigError(f"system.seed: expected an integer, got {self.seed!r}")
+        object.__setattr__(self, "overrides", _deep_plain(
+            require_mapping(self.overrides, "system.overrides")
+        ))
+
+    # -- resolution --------------------------------------------------------
+
+    def build(self, path: str = "system") -> SystemConfig:
+        """Resolve to a validated :class:`SystemConfig` (pathed errors)."""
+        base = scaled_config(self.scale) if self.seed is None else scaled_config(
+            self.scale, seed=self.seed
+        )
+        data: Dict[str, Any] = dataclasses.asdict(base)
+        reject_unknown(
+            self.overrides, (*_SECTIONS, *_SCALARS), f"{path}.overrides"
+        )
+        for key, value in self.overrides.items():
+            if key in _SECTIONS:
+                section_path = f"{path}.overrides.{key}"
+                require_mapping(value, section_path)
+                allowed = [f.name for f in dataclasses.fields(_SECTIONS[key])]
+                reject_unknown(value, allowed, section_path)
+                data[key].update(value)
+            else:
+                data[key] = value
+        kwargs: Dict[str, Any] = {}
+        for key, cls in _SECTIONS.items():
+            try:
+                kwargs[key] = cls(**data[key])
+            except ConfigError as exc:
+                raise ConfigError(f"{path}.{key}: {exc}") from None
+            except TypeError as exc:
+                raise ConfigError(f"{path}.{key}: {exc}") from None
+        for key in _SCALARS:
+            kwargs[key] = data[key]
+        try:
+            return SystemConfig(**kwargs)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from None
+        except TypeError as exc:
+            raise ConfigError(f"{path}: {exc}") from None
+
+    # -- serde -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"scale": self.scale}
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.overrides:
+            out["overrides"] = _deep_plain(self.overrides)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping, path: str = "system") -> "SystemSpec":
+        require_mapping(data, path)
+        reject_unknown(data, ("scale", "seed", "overrides"), path)
+        scale = as_str(take(data, "scale", path, "small"), f"{path}.scale")
+        if scale not in SCALE_NAMES:
+            raise ConfigError(
+                f"{path}.scale: unknown scale {scale!r}; "
+                f"expected one of {SCALE_NAMES}"
+            )
+        seed = take(data, "seed", path, None)
+        if seed is not None:
+            seed = as_int(seed, f"{path}.seed")
+        overrides = require_mapping(
+            take(data, "overrides", path, {}), f"{path}.overrides"
+        )
+        return cls(scale=scale, seed=seed, overrides=overrides)

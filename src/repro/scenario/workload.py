@@ -1,0 +1,332 @@
+"""Declarative workload selection: registered mixes, explicit programs, or
+seeded generated mixes.
+
+The experiment layers below the scenario contract consume concrete
+:class:`~repro.workloads.mixes.WorkloadMix` lists.  This module generalizes
+where that list comes from — a :class:`WorkloadSpec` can combine, in one
+``workload:`` section:
+
+``classes`` (+ ``combos_per_class``)
+    Whole Table 8 workload classes, enumerated exactly like the figure
+    sweeps (:func:`~repro.experiments.performance.select_mixes`).
+``mixes``
+    Individual registered Table 8 combinations by id (``c3_1``).
+``programs``
+    Explicit custom mixes: an id plus one program name per core.
+``generated``
+    Mixes *drawn* from the Table 6 class pools: ``count`` mixes whose slot
+    ``i`` is sampled from the pool named by ``slots[i]`` (``A``/``B``/``C``/
+    ``D`` or ``any``), seeded — so sweeps are no longer limited to the 26
+    shipped combinations, yet remain bit-reproducible.
+
+Resolution order is the section order above; the resolved mix ids must be
+unique (the engine keys results by ``mix_id``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..common.errors import ConfigError, WorkloadError
+from ..common.rng import derive_seed
+from ..workloads.mixes import WorkloadMix, get_mix, mix_classes
+from ..workloads.spec2000 import (
+    CLASS_A,
+    CLASS_B,
+    CLASS_C,
+    CLASS_D,
+    benchmark_names,
+    get_profile,
+)
+from .serde import (
+    as_int,
+    as_str,
+    as_str_list,
+    reject_unknown,
+    require_mapping,
+    take,
+)
+
+__all__ = ["ProgramMixSpec", "GeneratedMixSpec", "WorkloadSpec", "CLASS_POOLS"]
+
+#: Program pools the generator can draw slots from: the Table 6 classes plus
+#: ``any`` (all 26 modelled benchmarks).
+CLASS_POOLS: Dict[str, Tuple[str, ...]] = {
+    "A": CLASS_A,
+    "B": CLASS_B,
+    "C": CLASS_C,
+    "D": CLASS_D,
+    "any": tuple(benchmark_names()),
+}
+
+#: Mix ids become file names (result store) and task-id prefixes.
+_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+
+
+def _check_id(value: str, what: str) -> str:
+    if not _ID_RE.match(value):
+        raise ConfigError(
+            f"{what} {value!r} must be a file-safe identifier "
+            "(letters, digits, '.', '_', '-'; starting with a letter or digit)"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class ProgramMixSpec:
+    """One explicit custom mix: an id plus one benchmark name per core."""
+
+    mix_id: str
+    programs: Tuple[str, ...]
+    mix_class: str = "custom"
+
+    def __post_init__(self) -> None:
+        _check_id(self.mix_id, "mix id")
+        object.__setattr__(self, "programs", tuple(self.programs))
+        if not self.programs:
+            raise ConfigError(f"mix {self.mix_id!r} lists no programs")
+        for prog in self.programs:
+            try:
+                get_profile(prog)
+            except WorkloadError as exc:
+                raise ConfigError(str(exc.args[0])) from None
+
+    def resolve(self) -> WorkloadMix:
+        return WorkloadMix(
+            mix_id=self.mix_id, mix_class=self.mix_class, programs=self.programs
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"id": self.mix_id, "programs": list(self.programs)}
+        if self.mix_class != "custom":
+            out["class"] = self.mix_class
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping, path: str) -> "ProgramMixSpec":
+        require_mapping(data, path)
+        reject_unknown(data, ("id", "programs", "class"), path)
+        mix_id = as_str(take(data, "id", path), f"{path}.id")
+        programs = as_str_list(take(data, "programs", path), f"{path}.programs")
+        for i, prog in enumerate(programs):
+            try:
+                get_profile(prog)
+            except WorkloadError as exc:
+                raise ConfigError(f"{path}.programs[{i}]: {exc.args[0]}") from None
+        mix_class = as_str(take(data, "class", path, "custom"), f"{path}.class")
+        try:
+            return cls(mix_id=mix_id, programs=tuple(programs), mix_class=mix_class)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class GeneratedMixSpec:
+    """``count`` seeded random mixes drawn from per-slot class pools."""
+
+    count: int
+    slots: Tuple[str, ...]
+    seed: int = 0
+    id_prefix: str = "gen"
+    mix_class: str = "GEN"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "slots", tuple(self.slots))
+        if isinstance(self.count, bool) or not isinstance(self.count, int) or self.count < 1:
+            raise ConfigError(f"generated mix count must be a positive integer, got {self.count!r}")
+        if not self.slots:
+            raise ConfigError("generated mixes need at least one slot")
+        for slot in self.slots:
+            if slot not in CLASS_POOLS:
+                raise ConfigError(
+                    f"unknown slot pool {slot!r}; expected one of "
+                    f"{', '.join(sorted(CLASS_POOLS))}"
+                )
+        _check_id(self.id_prefix, "generated id_prefix")
+
+    def resolve(self) -> List[WorkloadMix]:
+        """Draw the mixes.  Deterministic in ``(seed, id_prefix)`` only —
+        independent draws per slot, so repeats (the stress-test shape) can
+        occur naturally when slots share a pool."""
+        rng = np.random.default_rng(derive_seed(self.seed, "scenario-gen", self.id_prefix))
+        mixes = []
+        for i in range(self.count):
+            programs = tuple(
+                CLASS_POOLS[slot][int(rng.integers(len(CLASS_POOLS[slot])))]
+                for slot in self.slots
+            )
+            mixes.append(
+                WorkloadMix(
+                    mix_id=f"{self.id_prefix}_{i}",
+                    mix_class=self.mix_class,
+                    programs=programs,
+                )
+            )
+        return mixes
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "slots": list(self.slots),
+            "seed": self.seed,
+        }
+        if self.id_prefix != "gen":
+            out["id_prefix"] = self.id_prefix
+        if self.mix_class != "GEN":
+            out["class"] = self.mix_class
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping, path: str) -> "GeneratedMixSpec":
+        require_mapping(data, path)
+        reject_unknown(data, ("count", "slots", "seed", "id_prefix", "class"), path)
+        count = as_int(take(data, "count", path), f"{path}.count", minimum=1)
+        slots = as_str_list(take(data, "slots", path), f"{path}.slots")
+        for i, slot in enumerate(slots):
+            if slot not in CLASS_POOLS:
+                raise ConfigError(
+                    f"{path}.slots[{i}]: unknown slot pool {slot!r}; expected "
+                    f"one of {', '.join(sorted(CLASS_POOLS))}"
+                )
+        seed = as_int(take(data, "seed", path, 0), f"{path}.seed")
+        prefix = as_str(take(data, "id_prefix", path, "gen"), f"{path}.id_prefix")
+        mix_class = as_str(take(data, "class", path, "GEN"), f"{path}.class")
+        try:
+            return cls(count=count, slots=tuple(slots), seed=seed,
+                       id_prefix=prefix, mix_class=mix_class)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The ``workload:`` section — everything a run simulates."""
+
+    classes: Tuple[str, ...] = ()
+    combos_per_class: int | None = None
+    mixes: Tuple[str, ...] = ()
+    programs: Tuple[ProgramMixSpec, ...] = ()
+    generated: Tuple[GeneratedMixSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("classes", "mixes", "programs", "generated"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        if not (self.classes or self.mixes or self.programs or self.generated):
+            raise ConfigError(
+                "workload selects nothing: give at least one of "
+                "classes/mixes/programs/generated"
+            )
+        known_classes = mix_classes()
+        for cls_name in self.classes:
+            if cls_name not in known_classes:
+                raise ConfigError(
+                    f"unknown workload class {cls_name!r}; "
+                    f"expected one of {', '.join(known_classes)}"
+                )
+        if self.combos_per_class is not None:
+            if not self.classes:
+                raise ConfigError("combos_per_class requires classes")
+            if (isinstance(self.combos_per_class, bool)
+                    or not isinstance(self.combos_per_class, int)
+                    or self.combos_per_class < 1):
+                raise ConfigError(
+                    f"combos_per_class must be a positive integer, "
+                    f"got {self.combos_per_class!r}"
+                )
+        for mix_id in self.mixes:
+            try:
+                get_mix(mix_id)
+            except WorkloadError as exc:
+                raise ConfigError(str(exc.args[0])) from None
+
+    def resolve(self) -> List[WorkloadMix]:
+        """The concrete mix list, in declaration order, ids checked unique."""
+        # Local import: performance imports the runner module tree; keeping
+        # the edge out of module import time keeps the scenario layer cheap
+        # to import for pure validation tools.
+        from ..experiments.performance import select_mixes
+
+        out: List[WorkloadMix] = []
+        if self.classes:
+            out.extend(select_mixes(list(self.classes), self.combos_per_class))
+        out.extend(get_mix(mix_id) for mix_id in self.mixes)
+        out.extend(spec.resolve() for spec in self.programs)
+        for spec in self.generated:
+            out.extend(spec.resolve())
+        seen: Dict[str, int] = {}
+        for mix in out:
+            seen[mix.mix_id] = seen.get(mix.mix_id, 0) + 1
+        dupes = sorted(mix_id for mix_id, n in seen.items() if n > 1)
+        if dupes:
+            raise ConfigError(
+                f"workload resolves duplicate mix id(s) {', '.join(map(repr, dupes))}: "
+                "results are keyed by mix_id, so every selected mix needs a "
+                "distinct id"
+            )
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.classes:
+            out["classes"] = list(self.classes)
+        if self.combos_per_class is not None:
+            out["combos_per_class"] = self.combos_per_class
+        if self.mixes:
+            out["mixes"] = list(self.mixes)
+        if self.programs:
+            out["programs"] = [p.to_dict() for p in self.programs]
+        if self.generated:
+            out["generated"] = [g.to_dict() for g in self.generated]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping, path: str = "workload") -> "WorkloadSpec":
+        require_mapping(data, path)
+        reject_unknown(
+            data, ("classes", "combos_per_class", "mixes", "programs", "generated"), path
+        )
+        classes = as_str_list(take(data, "classes", path, []), f"{path}.classes")
+        known_classes = mix_classes()
+        for i, cls_name in enumerate(classes):
+            if cls_name not in known_classes:
+                raise ConfigError(
+                    f"{path}.classes[{i}]: unknown workload class {cls_name!r}; "
+                    f"expected one of {', '.join(known_classes)}"
+                )
+        combos = take(data, "combos_per_class", path, None)
+        if combos is not None:
+            combos = as_int(combos, f"{path}.combos_per_class", minimum=1)
+        mixes = as_str_list(take(data, "mixes", path, []), f"{path}.mixes")
+        for i, mix_id in enumerate(mixes):
+            try:
+                get_mix(mix_id)
+            except WorkloadError as exc:
+                raise ConfigError(f"{path}.mixes[{i}]: {exc.args[0]}") from None
+        raw_programs = take(data, "programs", path, [])
+        if not isinstance(raw_programs, (list, tuple)):
+            raise ConfigError(f"{path}.programs: expected a list of mix mappings")
+        programs = tuple(
+            ProgramMixSpec.from_dict(item, f"{path}.programs[{i}]")
+            for i, item in enumerate(raw_programs)
+        )
+        raw_generated = take(data, "generated", path, [])
+        if not isinstance(raw_generated, (list, tuple)):
+            raise ConfigError(f"{path}.generated: expected a list of generator mappings")
+        generated = tuple(
+            GeneratedMixSpec.from_dict(item, f"{path}.generated[{i}]")
+            for i, item in enumerate(raw_generated)
+        )
+        try:
+            return cls(
+                classes=tuple(classes),
+                combos_per_class=combos,
+                mixes=tuple(mixes),
+                programs=programs,
+                generated=generated,
+            )
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from None

@@ -113,6 +113,83 @@ class TestResultStore:
         assert text.index('"a"') < text.index('"b"')
 
 
+class TestScenarioStamp:
+    """The runner stamps the scenario identity into the store manifest."""
+
+    def scenario(self, seed=7):
+        from repro.scenario import Scenario, SystemSpec, WorkloadSpec
+
+        return Scenario(
+            name=f"stamp-{seed}",
+            system=SystemSpec(scale="tiny", seed=seed),
+            workload=WorkloadSpec(mixes=("c1_0",)),
+            schemes=("l2p",),
+            plan=RunPlan(n_accesses=1_000, target_instructions=10_000,
+                         warmup_instructions=0, seed=seed, cc_probs=(0.0,)),
+        )
+
+    def runner(self, scenario, store, resume=False):
+        return ParallelRunner(
+            scenario.build_config(), scenario.plan, schemes=scenario.schemes,
+            jobs=0, store=store, resume=resume, scenario=scenario,
+        )
+
+    def test_manifest_carries_name_and_hash(self, tmp_path):
+        scenario = self.scenario()
+        store = str(tmp_path / "s")
+        self.runner(scenario, store).run(scenario.build_mixes())
+        manifest = json.loads((tmp_path / "s" / "manifest.json").read_text())
+        assert manifest["scenario"] == {
+            "name": scenario.name,
+            "hash": scenario.content_hash(),
+        }
+
+    def test_same_scenario_resumes(self, tmp_path):
+        scenario = self.scenario()
+        store = str(tmp_path / "s")
+        self.runner(scenario, store).run(scenario.build_mixes())
+        resumed = self.runner(scenario, store, resume=True)
+        resumed.run(scenario.build_mixes())
+        assert resumed.tasks_resumed == resumed.tasks_total
+
+    def test_different_scenario_resume_refused_actionably(self, tmp_path):
+        first, second = self.scenario(seed=7), self.scenario(seed=8)
+        store = str(tmp_path / "s")
+        self.runner(first, store).run(first.build_mixes())
+        with pytest.raises(EngineError) as excinfo:
+            self.runner(second, store, resume=True).run(second.build_mixes())
+        message = str(excinfo.value)
+        assert "stamp-7" in message and "stamp-8" in message
+        assert first.content_hash()[:12] in message
+        assert "fresh --store" in message
+
+    def test_cosmetic_rename_still_resumes(self, tmp_path):
+        """Only the content hash is identity: renaming a scenario (or moving
+        between the flag and file spellings) must not orphan a store."""
+        import dataclasses
+
+        scenario = self.scenario()
+        renamed = dataclasses.replace(scenario, name="other-name")
+        assert renamed.content_hash() == scenario.content_hash()
+        store = str(tmp_path / "s")
+        self.runner(scenario, store).run(scenario.build_mixes())
+        resumed = self.runner(renamed, store, resume=True)
+        resumed.run(renamed.build_mixes())
+        assert resumed.tasks_resumed == resumed.tasks_total
+
+    def test_unstamped_store_refused_by_stamped_run(self, tmp_path):
+        """A pre-scenario (API-driven) store mismatches a stamped run — the
+        silent-merge hole the stamp closes."""
+        scenario = self.scenario()
+        store = str(tmp_path / "s")
+        ParallelRunner(
+            scenario.build_config(), scenario.plan, schemes=scenario.schemes,
+            jobs=0, store=store,
+        ).run(scenario.build_mixes())
+        with pytest.raises(EngineError, match="unstamped"):
+            self.runner(scenario, store, resume=True).run(scenario.build_mixes())
+
+
 class TestRunnerValidation:
     def test_resume_requires_store(self):
         with pytest.raises(EngineError):

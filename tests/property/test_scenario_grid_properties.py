@@ -1,0 +1,93 @@
+"""Property tests: scenario-grid expansion is deterministic and duplicate-free.
+
+Strategy: grids over a tiny single-mix base scenario with 1–3 integer axes
+drawn from disjoint value pools per path.  Properties:
+
+* expansion is a pure function of the grid (two calls agree exactly);
+* the point count is the product of the axis lengths;
+* scenario names are unique (the duplicate-free contract);
+* axes that feed the resolved run inputs produce distinct content hashes;
+* axis declaration order is the expansion order (first axis slowest).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenario import ScenarioGrid
+
+BASE = {
+    "system": {"scale": "tiny", "seed": 7},
+    "workload": {"mixes": ["c1_0"]},
+    "schemes": ["l2p"],
+    "plan": {
+        "n_accesses": 1_000,
+        "target_instructions": 10_000,
+        "warmup_instructions": 0,
+    },
+}
+
+#: Axis paths that are always valid to set with small positive integers,
+#: and that all feed the content hash (they change the resolved inputs).
+AXIS_PATHS = (
+    "plan.seed",
+    "system.seed",
+    "plan.n_accesses",
+    "plan.target_instructions",
+)
+
+
+@st.composite
+def grids(draw):
+    n_axes = draw(st.integers(min_value=1, max_value=3))
+    paths = draw(
+        st.permutations(AXIS_PATHS).map(lambda p: list(p)[:n_axes])
+    )
+    axes = []
+    for path in paths:
+        values = draw(
+            st.lists(st.integers(min_value=1, max_value=1_000_000),
+                     min_size=1, max_size=3, unique=True)
+        )
+        axes.append((path, tuple(values)))
+    return ScenarioGrid(name="prop", base=BASE, axes=tuple(axes))
+
+
+@settings(max_examples=25, deadline=None)
+@given(grids())
+def test_expansion_deterministic(grid):
+    first = grid.expand()
+    again = grid.expand()
+    assert [s.name for s in first] == [s.name for s in again]
+    assert [s.content_hash() for s in first] == [s.content_hash() for s in again]
+    assert first == again
+
+
+@settings(max_examples=25, deadline=None)
+@given(grids())
+def test_expansion_complete_and_duplicate_free(grid):
+    scenarios = grid.expand()
+    expected = 1
+    for _, values in grid.axes:
+        expected *= len(values)
+    assert len(scenarios) == expected
+    names = [s.name for s in scenarios]
+    assert len(set(names)) == len(names)
+    hashes = [s.content_hash() for s in scenarios]
+    assert len(set(hashes)) == len(hashes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(grids())
+def test_first_axis_varies_slowest(grid):
+    scenarios = grid.expand()
+    first_path, first_values = grid.axes[0]
+    stride = len(scenarios) // len(first_values)
+    # Walking the expansion in blocks of `stride` steps through the first
+    # axis's values in declaration order.
+    for i, value in enumerate(first_values):
+        block = scenarios[i * stride : (i + 1) * stride]
+        for scenario in block:
+            node = scenario.to_dict()
+            for part in first_path.split("."):
+                node = node[part]
+            assert node == value

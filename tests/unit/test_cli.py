@@ -80,6 +80,135 @@ class TestParser:
             main(["worker", "--connect", "not-an-address"])
 
 
+class TestScenarioParser:
+    def test_scenario_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario"])
+
+    def test_scenario_run_args(self):
+        args = build_parser().parse_args(["scenario", "run", "smoke-tiny"])
+        assert args.command == "scenario"
+        assert args.scenario_command == "run"
+        assert args.file == "smoke-tiny"
+
+    def test_scenario_run_takes_engine_flags(self):
+        args = build_parser().parse_args(
+            ["scenario", "run", "f.yaml", "--jobs", "2", "--store", "d", "--resume"]
+        )
+        assert args.jobs == 2 and args.store == "d" and args.resume
+
+    def test_scenario_run_resume_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "f.yaml", "--resume"])
+
+    def test_scenario_validate_many_files(self):
+        args = build_parser().parse_args(["scenario", "validate", "a.yaml", "b.yaml"])
+        assert args.files == ["a.yaml", "b.yaml"]
+
+    def test_dump_scenario_flag(self):
+        args = build_parser().parse_args(
+            ["run", "--mix", "c3_0", "--dump-scenario", "out.yaml"]
+        )
+        assert args.dump_scenario == "out.yaml"
+        args = build_parser().parse_args(["sweep", "--dump-scenario", "s.yaml"])
+        assert args.dump_scenario == "s.yaml"
+
+
+class TestScenarioCommands:
+    def preset(self, name="smoke-tiny"):
+        from repro.scenario import preset_path
+
+        return str(preset_path(name))
+
+    def test_validate_presets_ok(self, capsys):
+        from repro.scenario import preset_names
+
+        files = [self.preset(n) for n in preset_names()]
+        assert main(["scenario", "validate", *files]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK ") == len(files)
+
+    def test_validate_bad_file_fails_with_path(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("scenario: 1\nname: x\nworkload: {mixes: [c9_9]}\n")
+        assert main(["scenario", "validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "workload.mixes[0]" in err
+
+    def test_expand_lists_grid_points(self, capsys):
+        assert main(["scenario", "expand", self.preset("epoch-sensitivity")]) == 0
+        out = capsys.readouterr().out
+        assert out.count("epoch-sensitivity__") == 6
+
+    def test_expand_writes_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "expanded"
+        assert main(["scenario", "expand", self.preset("epoch-sensitivity"),
+                     "--out", str(out_dir)]) == 0
+        from repro.scenario import Scenario
+
+        written = sorted(out_dir.glob("*.yaml"))
+        assert len(written) == 6
+        for path in written:
+            assert Scenario.load(path).name == path.stem
+
+    def test_scenario_run_smoke(self, capsys):
+        assert main(["scenario", "run", self.preset("smoke-tiny")]) == 0
+        out = capsys.readouterr().out
+        assert "scenario smoke-tiny" in out
+        assert "Normalized to L2P" in out
+
+    def test_scenario_run_by_preset_name(self, capsys):
+        assert main(["scenario", "run", "smoke-tiny"]) == 0
+        assert "scenario smoke-tiny" in capsys.readouterr().out
+
+    def test_run_bad_file_clean_error(self, tmp_path, capsys):
+        """scenario run/expand report malformed files as one-line errors
+        (with the field path), not tracebacks."""
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("scenario: 1\nname: x\nworkload: {mixes: [c9_9]}\n")
+        assert main(["scenario", "run", str(bad)]) == 1
+        assert "workload.mixes[0]" in capsys.readouterr().err
+        assert main(["scenario", "expand", str(bad)]) == 1
+        assert "workload.mixes[0]" in capsys.readouterr().err
+
+    def test_run_unknown_preset_clean_error(self, capsys):
+        assert main(["scenario", "run", "smoke-tiy"]) == 1
+        err = capsys.readouterr().err
+        assert "smoke-tiny" in err  # lists the real presets
+
+    def test_multi_scenario_socket_refused(self, capsys):
+        """A grid over the socket backend would strand workers after the
+        first point's shutdown; the CLI refuses upfront."""
+        assert main(["scenario", "run", self.preset("epoch-sensitivity"),
+                     "--backend", "socket"]) == 1
+        assert "one scenario per coordinator" in capsys.readouterr().err
+
+    def test_env_trace_cache_does_not_switch_engine_path(self, tmp_path,
+                                                         capsys, monkeypatch):
+        """$REPRO_TRACE_CACHE alone must not flip a plain run onto the
+        engine path (only the explicit --trace-cache flag does)."""
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+        assert main(["--scale", "tiny", "run", "--mix", "c1_0",
+                     "--schemes", "l2p"]) == 0
+        assert "engine:" not in capsys.readouterr().out
+
+    def test_dump_scenario_round_trips(self, tmp_path, capsys):
+        """--dump-scenario snapshots the flag invocation as a file whose
+        scenario run reproduces the same contract (same hash)."""
+        from repro.scenario import Scenario, scenario_from_flags
+
+        path = tmp_path / "snap.yaml"
+        assert main([
+            "--scale", "tiny", "run", "--mix", "c5_0",
+            "--schemes", "l2p", "snug", "--dump-scenario", str(path),
+        ]) == 0
+        assert "scenario written to" in capsys.readouterr().out
+        dumped = Scenario.load(path)
+        flags = scenario_from_flags(scale="tiny", seed=7, mix="c5_0",
+                                    schemes=("l2p", "snug"))
+        assert dumped.content_hash() == flags.content_hash()
+
+
 class TestCommands:
     def test_overhead(self, capsys):
         assert main(["overhead"]) == 0
