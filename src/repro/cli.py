@@ -150,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket backend: coordinator listen address "
              "(default 127.0.0.1:0 = any free port, printed at startup)",
     )
+    engine_flags.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="socket backend: file holding the shared worker-auth secret "
+             "(per-frame HMAC; a file keeps it off argv — default "
+             "$REPRO_ENGINE_SECRET, else unauthenticated integrity-only MACs)",
+    )
 
     # run/sweep only: the scenario file carries its own snug_monitor flag.
     monitor_flags = argparse.ArgumentParser(add_help=False)
@@ -292,6 +298,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep retrying the connection this long (workers may start "
              "before the coordinator)",
     )
+    p_worker.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the shared auth secret; must match the "
+             "coordinator's (default $REPRO_ENGINE_SECRET)",
+    )
+    p_worker.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="journal completed chunks under DIR until the coordinator acks "
+             "them; unacknowledged results are replayed (not re-simulated) "
+             "on reconnect, surviving coordinator restarts",
+    )
+    p_worker.add_argument(
+        "--reconnect", action="store_true",
+        help="re-dial the coordinator after a lost connection instead of "
+             "exiting (each retry window bounded by --connect-timeout)",
+    )
+    p_worker.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection for hardening tests, e.g. "
+             "'seed=7,drop=0.1,torn=0.05,die=0.02,dup=0.1' (see "
+             "docs/engine.md for the grammar; implies --reconnect)",
+    )
     return parser
 
 
@@ -344,6 +372,24 @@ def _parse_hostport(value: str) -> Optional[tuple[str, int]]:
     return host, int(port)
 
 
+def _read_secret_file(path: Optional[str]) -> Optional[str]:
+    """The shared engine secret from ``--secret-file`` (stripped), if given.
+
+    A file rather than a flag value keeps the secret out of ``ps`` output
+    and shell history; ``$REPRO_ENGINE_SECRET`` remains the no-file path.
+    """
+    if path is None:
+        return None
+    try:
+        with open(path, encoding="utf-8") as handle:
+            secret = handle.read().strip()
+    except OSError as exc:
+        raise ReproError(f"--secret-file: cannot read {path!r}: {exc}") from None
+    if not secret:
+        raise ReproError(f"--secret-file: {path!r} is empty")
+    return secret
+
+
 def _engine_options(args: argparse.Namespace, store: str | None = None) -> EngineOptions:
     """The :class:`EngineOptions` a run/sweep/scenario-run invocation asks for.
 
@@ -359,6 +405,7 @@ def _engine_options(args: argparse.Namespace, store: str | None = None) -> Engin
         backend=args.backend,
         bind=bind,
         trace_cache=args.trace_cache,
+        secret=_read_secret_file(args.secret_file),
     )
 
 
@@ -426,13 +473,31 @@ def _render_combos(combos: List[ComboResult]) -> None:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     host, port = _parse_hostport(args.connect)
-    chunks = run_worker(
-        host,
-        port,
-        cache_root=resolve_cache_root(args.trace_cache),
-        connect_timeout=args.connect_timeout,
-    )
-    print(f"worker: processed {chunks} chunk(s)")
+    stats: dict = {}
+    try:
+        chunks = run_worker(
+            host,
+            port,
+            cache_root=resolve_cache_root(args.trace_cache),
+            connect_timeout=args.connect_timeout,
+            secret=_read_secret_file(args.secret_file),
+            spool_dir=args.spool,
+            faults=args.inject_faults,
+            reconnect=args.reconnect,
+            stats=stats,
+        )
+    except ReproError as exc:
+        # AuthError (rejected by the coordinator), a bad fault spec, an
+        # unreachable coordinator: the message is the diagnosis.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    extras = ""
+    if stats.get("replayed") or stats.get("reconnects"):
+        extras = (
+            f" ({stats['replayed']} replayed from spool, "
+            f"{stats['reconnects']} reconnect(s))"
+        )
+    print(f"worker: processed {chunks} chunk(s){extras}")
     return 0
 
 
@@ -587,6 +652,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--bind requires --backend socket")
         if args.bind is not None and _parse_hostport(args.bind) is None:
             parser.error(f"--bind expects HOST:PORT, got {args.bind!r}")
+        if args.secret_file is not None and args.backend != "socket":
+            parser.error("--secret-file requires --backend socket")
     if args.command == "survey" and args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = in-process survey)")
     if args.command in ("characterize", "survey"):

@@ -39,3 +39,22 @@ class EngineError(ReproError, RuntimeError):
     the requested configuration (resuming with different parameters would
     silently mix incompatible results), or corrupt/missing task payloads.
     """
+
+
+class ProtocolError(EngineError):
+    """A socket-backend peer sent an unusable byte stream.
+
+    Truncated, oversized, runt or otherwise garbled frames — anything that
+    means the connection cannot be trusted to carry further messages.  The
+    coordinator and workers treat it like a dropped connection (the peer is
+    presumed dead and its work requeued); it never reaches the unpickler.
+    """
+
+
+class AuthError(EngineError):
+    """A socket-backend peer failed authentication or version negotiation.
+
+    Wrong shared secret (frame MAC mismatch) or a stale protocol version.
+    Unlike :class:`ProtocolError` this is *not* retried: a worker raising it
+    exits with the coordinator's rejection message instead of reconnecting.
+    """

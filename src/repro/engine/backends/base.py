@@ -42,6 +42,12 @@ class ExecutionBackend(ABC):
       preserving per-task resume granularity).
     * Trace-provisioning counters returned by worker chunks are accumulated
       into :attr:`stats` via :meth:`record_stats`.
+    * Scheduling is backend-local and outcome-free.  A backend may reorder,
+      split work across elastic workers, dispatch a chunk more than once
+      (requeue after a presumed death, spool replay after a restart) — so
+      long as the exactly-once *reporting* rule above holds.  The socket
+      backend's cost-aware LPT queue and at-least-once dispatch both live
+      entirely behind this line.
     """
 
     #: Registry name (``"inline"``, ``"process"``, ``"socket"``).

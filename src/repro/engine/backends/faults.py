@@ -1,0 +1,173 @@
+"""Deterministic fault injection for the socket worker protocol.
+
+The socket backend's whole value is surviving an unreliable cluster, so its
+failure handling must be *testable on demand*: :class:`FaultInjector` wraps
+the worker's frame sends and, on a seed-driven schedule, drops frames,
+delays them, duplicates them, tears them mid-send, or kills the connection
+outright — the exact faults the coordinator's requeue/dedupe/spool-replay
+machinery claims to absorb.  The fault-matrix suite
+(``tests/engine/test_fault_injection.py``) runs real sweeps under these
+schedules and holds the merged store to the bit-identical-merge bar; the
+same schedules are reachable from a live deployment via
+``repro worker --inject-faults SPEC``.
+
+Spec grammar
+------------
+A spec is comma-separated ``key=value`` fields::
+
+    seed=7,drop=0.10,dup=0.10,torn=0.05,die=0.02,delay=0.10,delay_s=0.01,crash=3
+
+========== ===================================================================
+``seed``   integer seeding the schedule (same seed + same frame sequence =
+           same fault decisions)
+``drop``   probability a frame is silently discarded
+``dup``    probability a frame is delivered twice
+``torn``   probability a frame is cut mid-send and the connection closed
+``die``    probability the connection is closed *instead of* sending
+``delay``  probability a frame is delayed by ``delay_s`` seconds (default
+           0.01) before sending
+``crash``  coordinator-side only: abort the sweep after this many chunk
+           completions (simulates a coordinator crash; workers' spooled
+           results replay into the restarted coordinator)
+========== ===================================================================
+
+Each non-exempt frame consumes exactly one draw from the seeded stream and
+the probability bands are checked in a fixed order (torn, die, drop, dup,
+delay), so the schedule is a pure function of ``(seed, frame index)``.
+Heartbeats are sent exempt: they are timing-driven and would otherwise make
+the schedule depend on wall-clock interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+from ...common.errors import EngineError
+
+__all__ = ["FaultSpec", "FaultInjector", "InjectedDeath"]
+
+
+class InjectedDeath(ConnectionError):
+    """The injector killed this connection (``torn`` or ``die`` fired).
+
+    A :class:`ConnectionError` subclass so every handler that survives a
+    real peer death survives an injected one through the same code path.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``--inject-faults`` schedule (see the module docstring)."""
+
+    seed: int = 0
+    drop: float = 0.0
+    dup: float = 0.0
+    torn: float = 0.0
+    die: float = 0.0
+    delay: float = 0.0
+    delay_s: float = 0.01
+    crash: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "torn", "die", "delay"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise EngineError(
+                    f"fault spec: {name}={value} must be a probability in [0, 1]"
+                )
+        if self.drop + self.dup + self.torn + self.die + self.delay > 1.0:
+            raise EngineError(
+                "fault spec: fault probabilities sum past 1.0 — every frame "
+                "would fault and the sweep could never progress"
+            )
+        if self.delay_s < 0:
+            raise EngineError("fault spec: delay_s must be non-negative")
+        if self.crash is not None and self.crash < 1:
+            raise EngineError("fault spec: crash must be a positive chunk count")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSpec":
+        """Parse the ``key=value,...`` grammar; raises :class:`EngineError`."""
+        values: Dict[str, object] = {}
+        kinds = {f.name: f for f in fields(cls)}
+        for field in filter(None, (part.strip() for part in spec.split(","))):
+            key, sep, raw = field.partition("=")
+            if not sep or key not in kinds:
+                raise EngineError(
+                    f"fault spec: bad field {field!r}; known fields: "
+                    f"{', '.join(sorted(kinds))} (example: "
+                    "'seed=7,drop=0.1,torn=0.05')"
+                )
+            try:
+                values[key] = int(raw) if key in ("seed", "crash") else float(raw)
+            except ValueError:
+                raise EngineError(
+                    f"fault spec: {key}={raw!r} is not a number"
+                ) from None
+        return cls(**values)
+
+
+class FaultInjector:
+    """Applies one :class:`FaultSpec` schedule to a worker's frame sends.
+
+    One injector instance persists across a worker's reconnects, so the
+    seeded stream keeps advancing instead of restarting — a reconnected
+    worker does not replay the faults that killed it.  ``counts`` records
+    how often each action fired (tests assert the schedule actually
+    exercised every fault class).
+    """
+
+    def __init__(self, spec: FaultSpec | str) -> None:
+        self.spec = FaultSpec.parse(spec) if isinstance(spec, str) else spec
+        self._rng = random.Random(self.spec.seed)
+        self.counts: Dict[str, int] = {
+            k: 0 for k in ("send", "drop", "dup", "torn", "die", "delay")
+        }
+
+    def _next_action(self) -> str:
+        """One draw, mapped onto the cumulative probability bands."""
+        draw = self._rng.random()
+        edge = 0.0
+        for action in ("torn", "die", "drop", "dup", "delay"):
+            edge += getattr(self.spec, action)
+            if draw < edge:
+                return action
+        return "send"
+
+    def send_frame(self, sock: socket.socket, frame: bytes, *, exempt: bool = False) -> None:
+        """Send *frame*, possibly faulted; raises :class:`InjectedDeath`.
+
+        *exempt* frames (heartbeats) always go through verbatim and consume
+        no draw, keeping the schedule independent of heartbeat timing.
+        """
+        if exempt:
+            sock.sendall(frame)
+            return
+        action = self._next_action()
+        self.counts[action] += 1
+        if action == "drop":
+            return
+        if action == "dup":
+            sock.sendall(frame)
+            sock.sendall(frame)
+            return
+        if action == "delay":
+            time.sleep(self.spec.delay_s)
+            sock.sendall(frame)
+            return
+        if action == "torn":
+            cut = self._rng.randrange(1, max(2, len(frame)))
+            try:
+                sock.sendall(frame[:cut])
+            except OSError:
+                pass  # the point is the death; a failed partial send is one
+            sock.close()
+            raise InjectedDeath(f"injected torn frame (cut at byte {cut})")
+        if action == "die":
+            sock.close()
+            raise InjectedDeath("injected worker death before send")
+        sock.sendall(frame)

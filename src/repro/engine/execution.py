@@ -142,6 +142,11 @@ def execute_task_chunk(
     caller persists them before re-raising, preserving the per-task
     store/resume granularity) — and this chunk's trace-provisioning
     counters.
+
+    Execution is deterministic in ``(config, plan, tasks)``: re-running a
+    chunk produces bit-identical results.  Backends lean on this — the
+    socket backend's requeue-after-death and spool-replay paths may execute
+    a chunk twice and keep either outcome.
     """
     results: List[SimResult] = []
     consume_trace_stats()  # isolate this chunk's counters

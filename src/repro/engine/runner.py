@@ -16,7 +16,6 @@ for any worker count.
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import TYPE_CHECKING, Dict, List, Sequence
 
 from ..common.config import SystemConfig
@@ -33,7 +32,7 @@ from ..workloads.mixes import WorkloadMix
 from .backends import ExecutionBackend, InlineBackend, ProcessPoolBackend, make_backend
 from .execution import execute_task, execute_task_chunk  # re-export (compat)
 from .store import ResultStore
-from .tasks import SimTask, expand_mix_tasks
+from .tasks import SimTask, estimate_task_cost, expand_mix_tasks
 
 if TYPE_CHECKING:  # the scenario layer imports the engine, not vice versa
     from ..scenario.model import Scenario
@@ -206,11 +205,14 @@ class ParallelRunner:
         One chunk per mix keeps a mix's tasks on one worker (trace-memo
         hits) and cuts transport to one round-trip per mix.  When that would
         leave workers idle — fewer mixes than the parallelism hint — each
-        mix's chunk is split into at most ``ceil(len/jobs)``-sized
-        *contiguous* sub-chunks instead of degrading to single-task chunks,
-        so parallelism and memo locality coexist: every sub-chunk still
-        generates (or loads) its mix's traces once and amortizes them over
-        its tasks.
+        mix's chunk is split into at most ``jobs`` *contiguous* sub-chunks
+        with balanced **estimated cost** (scheme weights spread ~2x between
+        L2P and SNUG, so an even task *count* is an uneven workload) instead
+        of degrading to single-task chunks.  Parallelism and memo locality
+        coexist: every sub-chunk still generates (or loads) its mix's traces
+        once and amortizes them over its tasks.  Splitting is deterministic
+        and order-preserving — it cannot affect the merged output, only how
+        evenly workers finish.
         """
         chunks: List[List[SimTask]] = []
         for task in pending:
@@ -223,9 +225,53 @@ class ParallelRunner:
             return chunks
         split: List[List[SimTask]] = []
         for chunk in chunks:
-            size = math.ceil(len(chunk) / hint)
-            split.extend(chunk[i : i + size] for i in range(0, len(chunk), size))
+            split.extend(self._split_by_cost(chunk, hint))
         return split
+
+    def _split_by_cost(
+        self, chunk: List[SimTask], parts: int
+    ) -> List[List[SimTask]]:
+        """Cut one chunk into ≤ *parts* contiguous runs of similar cost.
+
+        Greedy online partition: close the current run once it has claimed
+        its proportional share of the cost still unassigned.  Runs are also
+        capped at ``ceil(len/parts)`` tasks so cheap tasks can't pile into
+        one oversized run — the cap keeps every run's memo-locality win
+        while the cost rule decides where the cuts fall within it.  A close
+        is allowed only while the tail still fits the remaining budget
+        (``tasks_left <= (left_parts - 1) * cap``), which keeps the cap
+        invariant over the whole partition; fewer than *parts* runs can
+        come out when the cap forces uniformly full runs.
+        """
+        parts = min(parts, len(chunk))
+        if parts <= 1:
+            return [chunk]
+        cap = -(-len(chunk) // parts)
+        costs = [estimate_task_cost(task, self.plan) for task in chunk]
+        out: List[List[SimTask]] = []
+        run: List[SimTask] = []
+        run_cost = 0.0
+        left_cost = sum(costs)
+        left_parts = parts
+        for index, (task, cost) in enumerate(zip(chunk, costs)):
+            run.append(task)
+            run_cost += cost
+            left_cost -= cost
+            tasks_left = len(chunk) - index - 1
+            if (
+                left_parts > 1
+                and 1 <= tasks_left <= (left_parts - 1) * cap
+                and (
+                    len(run) >= cap
+                    or run_cost >= (run_cost + left_cost) / left_parts
+                )
+            ):
+                out.append(run)
+                run, run_cost = [], 0.0
+                left_parts -= 1
+        if run:
+            out.append(run)
+        return out
 
     # -- merging -----------------------------------------------------------
 

@@ -10,12 +10,21 @@ exactly like registered ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Tuple
 
 from ..experiments.runner import normalize_schemes
 from ..workloads.mixes import WorkloadMix
 
-__all__ = ["SimTask", "expand_mix_tasks"]
+if TYPE_CHECKING:
+    from ..experiments.runner import RunPlan
+
+__all__ = [
+    "SimTask",
+    "expand_mix_tasks",
+    "SCHEME_COST_WEIGHTS",
+    "estimate_task_cost",
+    "estimate_chunk_cost",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +55,42 @@ class SimTask:
         return WorkloadMix(
             mix_id=self.mix_id, mix_class=self.mix_class, programs=self.programs
         )
+
+
+#: Relative per-access simulation weight of each factory scheme, measured
+#: against the L2P baseline at small scale.  These are *scheduling hints*,
+#: not a performance contract: they only order and pack chunks (LPT — the
+#: costliest work starts first), so a stale weight costs wall-clock, never
+#: correctness.  SNUG pays for its shadow sets and epoch relabelling; DSR
+#: for spill bookkeeping; CC sits between.
+SCHEME_COST_WEIGHTS = {
+    "l2p": 1.0,
+    "l2s": 1.1,
+    "cc": 1.25,
+    "dsr": 1.4,
+    "snug": 1.8,
+    "snug_intra": 1.8,
+}
+
+#: Weight for schemes not in the table (new schemes schedule mid-pack).
+DEFAULT_SCHEME_WEIGHT = 1.3
+
+
+def estimate_task_cost(task: SimTask, plan: "RunPlan") -> float:
+    """Estimated relative cost of one task: mix size x scheme x trace length.
+
+    The three factors the sweep grid actually varies: a four-program mix
+    simulates four traces, trace length scales with ``plan.n_accesses``, and
+    the scheme weight captures the per-access overhead spread between
+    schemes.  Units are arbitrary — only ratios matter to the scheduler.
+    """
+    weight = SCHEME_COST_WEIGHTS.get(task.scheme, DEFAULT_SCHEME_WEIGHT)
+    return len(task.programs) * weight * plan.n_accesses
+
+
+def estimate_chunk_cost(tasks: Iterable[SimTask], plan: "RunPlan") -> float:
+    """Summed :func:`estimate_task_cost` of a chunk's tasks."""
+    return sum(estimate_task_cost(task, plan) for task in tasks)
 
 
 def expand_mix_tasks(

@@ -91,6 +91,11 @@ class EngineOptions:
     backend: str | None = None
     bind: Tuple[str, int] | None = None
     trace_cache: str | None = None
+    #: Socket-backend shared auth secret (worker frame MACs).  Deliberately
+    #: excluded from :attr:`engine_requested`: a secret alone (e.g. ambient
+    #: via ``--secret-file`` in a wrapper script) must not flip a serial run
+    #: onto the engine path.
+    secret: str | None = None
 
     @property
     def engine_requested(self) -> bool:
@@ -136,7 +141,11 @@ class ScenarioExecution:
         backend = None
         if opts.backend is not None:
             backend = make_backend(
-                opts.backend, jobs=jobs, cache_root=cache_root, bind=opts.bind
+                opts.backend,
+                jobs=jobs,
+                cache_root=cache_root,
+                bind=opts.bind,
+                secret=opts.secret,
             )
         return ParallelRunner(
             self.config,

@@ -18,7 +18,7 @@ import threading
 import pytest
 
 from repro.common.config import tiny_config
-from repro.common.errors import EngineError
+from repro.common.errors import AuthError, EngineError
 from repro.engine import ParallelRunner
 from repro.engine.backends import (
     BACKENDS,
@@ -217,6 +217,8 @@ class TestSocketFaults:
             sock = socketlib.create_connection((host, port), timeout=10)
             try:
                 send_hello(sock, "doomed")
+                welcome = recv_msg(sock)
+                assert welcome and welcome["type"] == "welcome"
                 send_msg(sock, {"type": "ready"})
                 msg = recv_msg(sock)
                 assert msg and msg["type"] == "chunk"
@@ -251,27 +253,54 @@ class TestSocketFaults:
             runner.run([MIXES[0]])
 
     def test_incompatible_hello_is_rejected(self):
-        """A peer with the wrong protocol version is dropped, and real
+        """Stale-protocol peers (v1 framing *and* MAC'd-but-wrong-version)
+        get an actionable rejection, a garbage peer gets silence, and real
         workers still complete the sweep."""
         backend = SocketBackend(heartbeat_timeout=10.0, worker_wait=30.0)
         host, port = backend.bind()
+        failures: list = []
 
-        def bad_peer():
+        def legacy_peer():
+            """A protocol-v1 worker: un-MAC'd length+JSON hello framing."""
             import json as jsonlib
             import struct
 
             sock = socketlib.create_connection((host, port), timeout=10)
             try:
                 body = jsonlib.dumps({"type": "hello", "worker": "stale",
-                                      "version": PROTOCOL_VERSION + 1}).encode()
+                                      "version": 1}).encode()
                 sock.sendall(struct.pack(">I", len(body)) + body)
-                assert recv_msg(sock) is None  # coordinator hangs up
+                try:
+                    recv_msg(sock)
+                    failures.append("legacy peer was not rejected")
+                except AuthError as exc:
+                    if "stale protocol" not in str(exc):
+                        failures.append(f"unhelpful legacy rejection: {exc}")
+                except Exception as exc:  # noqa: BLE001 - recorded for main thread
+                    failures.append(f"legacy peer: {exc!r}")
+            finally:
+                sock.close()
+
+        def stale_peer():
+            """Current framing, future version number: the welcome-side gate."""
+            sock = socketlib.create_connection((host, port), timeout=10)
+            try:
+                send_hello(sock, "stale", version=PROTOCOL_VERSION + 1)
+                try:
+                    recv_msg(sock)
+                    failures.append("stale peer was not rejected")
+                except AuthError as exc:
+                    if "protocol version" not in str(exc):
+                        failures.append(f"unhelpful stale rejection: {exc}")
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(f"stale peer: {exc!r}")
             finally:
                 sock.close()
 
         def garbage_peer():
             """A non-protocol client (e.g. a stray HTTP probe) must be
-            dropped by the JSON handshake without reaching the unpickler."""
+            dropped by the handshake size cap without reaching the
+            unpickler — and without leaking a protocol error frame."""
             sock = socketlib.create_connection((host, port), timeout=10)
             try:
                 sock.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
@@ -280,26 +309,30 @@ class TestSocketFaults:
                     data = sock.recv(1)
                 except ConnectionResetError:
                     data = b""  # hard reset: unread bytes at close
-                assert data == b""  # coordinator hangs up either way
+                if data != b"":
+                    failures.append(f"garbage peer got bytes back: {data!r}")
             finally:
                 sock.close()
 
-        bad = threading.Thread(target=bad_peer, daemon=True)
-        bad.start()
-        garbage = threading.Thread(target=garbage_peer, daemon=True)
-        garbage.start()
+        peers = [
+            threading.Thread(target=target, daemon=True)
+            for target in (legacy_peer, stale_peer, garbage_peer)
+        ]
+        for peer in peers:
+            peer.start()
         good = threading.Thread(target=run_worker, args=(host, port), daemon=True)
         good.start()
 
         config, plan = tiny_config(seed=7), small_plan()
         runner = ParallelRunner(config, plan, jobs=2, backend=backend)
         [combo] = runner.run([MIXES[0]])
-        bad.join(timeout=15)
-        garbage.join(timeout=15)
+        for peer in peers:
+            peer.join(timeout=15)
         good.join(timeout=15)
+        assert failures == []
         serial = fingerprint(run_combo(MIXES[0], tiny_config(seed=7), small_plan()))
         assert fingerprint(combo) == serial
-        assert backend.workers_seen == 1  # neither bad peer ever registered
+        assert backend.workers_seen == 1  # no bad peer ever registered
 
 
 class TestTaskFailurePropagation:

@@ -1,0 +1,223 @@
+"""Property suite for the socket backend's cost-aware chunk scheduler.
+
+``_SweepState`` is the concurrency heart of the socket backend: a
+cost-ordered heap of chunks, claimed by elastic workers, requeued on
+presumed death, deduplicated on completion.  Hypothesis drives arbitrary
+claim/die/late-duplicate interleavings against a simple model and checks
+the invariants the backend contract rests on:
+
+* every submitted task is reported **exactly once** (completion set equals
+  submission set, no duplicates, no starvation);
+* duplicate and late results are absorbed, never double-counted;
+* claims come out costliest-first with a deterministic submission-order
+  tie-break;
+* spool-replay messages with arbitrary task groupings complete exactly the
+  fully-covered chunks (the coordinator-restart case).
+"""
+
+from __future__ import annotations
+
+from queue import Empty
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.backends.socket import _chunk_id, _SweepState
+from repro.engine.tasks import SimTask, estimate_chunk_cost
+from repro.experiments.runner import RunPlan
+
+PLAN = RunPlan(
+    n_accesses=1_500,
+    target_instructions=25_000,
+    warmup_instructions=15_000,
+    seed=5,
+)
+
+SCHEMES = ["l2p", "l2s", "cc", "dsr", "snug", "made_up_scheme"]
+
+
+def _draw_chunks(data) -> list:
+    """1-6 chunks of 1-4 tasks with unique task ids and varied costs."""
+    counter = 0
+    chunks = []
+    for _ in range(data.draw(st.integers(1, 6), label="n_chunks")):
+        chunk = []
+        for _ in range(data.draw(st.integers(1, 4), label="chunk_size")):
+            chunk.append(
+                SimTask(
+                    mix_id=f"m{counter}",
+                    mix_class="c1",
+                    programs=("p",) * data.draw(st.integers(1, 4), label="n_prog"),
+                    scheme=data.draw(st.sampled_from(SCHEMES), label="scheme"),
+                )
+            )
+            counter += 1
+        chunks.append(chunk)
+    return chunks
+
+
+def _result_msg(chunk_id, tasks) -> dict:
+    return {
+        "chunk_id": chunk_id,
+        "task_ids": [t.task_id for t in tasks],
+        "results": [f"r:{t.task_id}" for t in tasks],
+        "stats": {},
+    }
+
+
+def _drain_events(state) -> list:
+    pairs = []
+    while True:
+        try:
+            chunk_pairs, error, _stats = state.events.get_nowait()
+        except Empty:
+            return pairs
+        assert error is None
+        pairs.extend(chunk_pairs)
+
+
+class TestExactlyOnce:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_join_leave_requeue_interleavings(self, data):
+        """Workers claim, die (requeue), and send late duplicate results in
+        any order Hypothesis likes; every task still comes out exactly once
+        and every chunk completes (no starvation)."""
+        chunks = _draw_chunks(data)
+        state = _SweepState(chunks, PLAN)
+        n_workers = data.draw(st.integers(1, 4), label="n_workers")
+        idle = set(range(n_workers))
+        in_flight: dict = {}
+        ghosts: list = []  # (chunk_id, tasks) held by presumed-dead workers
+        accepted: dict = {}
+
+        def deliver(chunk_id, tasks):
+            if state.complete(chunk_id, _result_msg(chunk_id, tasks)):
+                accepted[chunk_id] = accepted.get(chunk_id, 0) + 1
+
+        for _ in range(120):
+            if len(state.done) == len(state.chunks):
+                break
+            ops = []
+            if idle:
+                ops.append("claim")
+            if in_flight:
+                ops += ["complete", "die"]
+            if ghosts:
+                ops.append("late_result")
+            op = data.draw(st.sampled_from(ops), label="op")
+            if op == "claim":
+                worker = data.draw(st.sampled_from(sorted(idle)), label="worker")
+                claimed = state.try_claim()
+                if claimed is None:
+                    continue  # everything is in flight elsewhere
+                in_flight[worker] = claimed
+                idle.discard(worker)
+            elif op == "die":
+                worker = data.draw(st.sampled_from(sorted(in_flight)), label="dying")
+                chunk_id, tasks = in_flight.pop(worker)
+                ghosts.append((chunk_id, tasks))  # its result may yet arrive
+                state.requeue(chunk_id)
+                idle.add(worker)
+            elif op == "late_result":
+                chunk_id, tasks = ghosts.pop(
+                    data.draw(st.integers(0, len(ghosts) - 1), label="ghost")
+                )
+                deliver(chunk_id, tasks)
+            else:  # complete
+                worker = data.draw(st.sampled_from(sorted(in_flight)), label="done")
+                chunk_id, tasks = in_flight.pop(worker)
+                deliver(chunk_id, tasks)
+                if data.draw(st.booleans(), label="dup_frame"):
+                    # The network duplicated the result frame: the second
+                    # delivery must be deduplicated, not double-counted.
+                    assert not state.complete(
+                        chunk_id, _result_msg(chunk_id, tasks)
+                    )
+                idle.add(worker)
+
+        # Drain deterministically: finish in-flight work, then whatever the
+        # queue still holds.  No chunk may be unreachable (starved).
+        for chunk_id, tasks in in_flight.values():
+            deliver(chunk_id, tasks)
+        while (claimed := state.try_claim()) is not None:
+            deliver(*claimed)
+
+        assert len(state.done) == len(state.chunks)
+        assert all(count == 1 for count in accepted.values())
+        yielded = [task.task_id for task, _result in _drain_events(state)]
+        submitted = [task.task_id for chunk in chunks for task in chunk]
+        assert sorted(yielded) == sorted(submitted)
+        # Late ghost results after full completion are still no-ops.
+        for chunk_id, tasks in ghosts:
+            assert not state.complete(chunk_id, _result_msg(chunk_id, tasks))
+
+
+class TestCostOrdering:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_claims_come_out_costliest_first(self, data):
+        """The claim order is exactly (-estimated cost, submission index)."""
+        chunks = _draw_chunks(data)
+        state = _SweepState(chunks, PLAN)
+        expected = sorted(
+            range(len(chunks)),
+            key=lambda i: (-estimate_chunk_cost(chunks[i], PLAN), i),
+        )
+        claimed_ids = []
+        while (claimed := state.try_claim()) is not None:
+            claimed_ids.append(claimed[0])
+        assert claimed_ids == [_chunk_id(chunks[i]) for i in expected]
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_requeue_restores_original_priority(self, data):
+        """A requeued chunk re-enters at its original cost priority: it is
+        claimable again (never starved) and ranks exactly where its cost
+        puts it among the still-pending chunks."""
+        chunks = _draw_chunks(data)
+        state = _SweepState(chunks, PLAN)
+        first = state.try_claim()
+        assert first is not None
+        state.requeue(first[0])
+        again = state.try_claim()
+        assert again is not None
+        assert again[0] == first[0]  # still the costliest pending chunk
+
+
+class TestAbsorbRegrouped:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_absorb_completes_exactly_the_covered_chunks(self, data):
+        """A replayed result carrying an arbitrary task subset (the chunk
+        partition may have changed across a coordinator restart) completes
+        exactly the chunks it fully covers — once."""
+        chunks = _draw_chunks(data)
+        state = _SweepState(chunks, PLAN)
+        all_tasks = [task for chunk in chunks for task in chunk]
+        subset_ids = data.draw(
+            st.sets(st.sampled_from([t.task_id for t in all_tasks])),
+            label="subset",
+        )
+        subset = [t for t in all_tasks if t.task_id in subset_ids]
+        message = {
+            "task_ids": [t.task_id for t in subset],
+            "results": [f"r:{t.task_id}" for t in subset],
+            "stats": {"memo_hits": 3},
+        }
+        completed = state.absorb(message)
+        expected = [
+            cid
+            for cid, tasks in state.chunks.items()
+            if all(t.task_id in subset_ids for t in tasks)
+        ]
+        assert sorted(completed) == sorted(expected)
+        # Replaying the same message again completes nothing further.
+        assert state.absorb(message) == []
+        # Finish the rest; the union is still exactly-once.
+        while (claimed := state.try_claim()) is not None:
+            chunk_id, tasks = claimed
+            state.complete(chunk_id, _result_msg(chunk_id, tasks))
+        assert len(state.done) == len(state.chunks)
+        yielded = [task.task_id for task, _result in _drain_events(state)]
+        assert sorted(yielded) == sorted(t.task_id for t in all_tasks)

@@ -1,0 +1,290 @@
+"""Protocol robustness units: framing, MACs, caps, spool, fault specs.
+
+The socket backend's receive path must reject hostile or corrupt byte
+streams with :class:`EngineError` subclasses — cleanly, before allocation,
+and above all **before unpickling** — instead of hanging or executing
+attacker-controlled bytes.  These tests drive ``recv_msg``/``recv_hello``
+over socketpairs with torn, oversized, garbage and wrong-MAC frames, pin
+the ``_connect_with_retry`` retry bound, and cover the fault-spec grammar
+and the on-disk result spool.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket as socketlib
+import struct
+import time
+
+import pytest
+
+from repro.common.errors import AuthError, EngineError, ProtocolError
+from repro.engine.backends.faults import FaultInjector, FaultSpec, InjectedDeath
+from repro.engine.backends.socket import (
+    _MAX_FRAME,
+    _build_frame,
+    _connect_with_retry,
+    _send_error,
+    ResultSpool,
+    PROTOCOL_VERSION,
+    recv_hello,
+    recv_msg,
+    resolve_secret,
+    send_hello,
+    send_msg,
+)
+
+KEY = resolve_secret("unit-test-secret")
+OTHER = resolve_secret("a-different-secret")
+
+
+@pytest.fixture()
+def pair():
+    a, b = socketlib.socketpair()
+    a.settimeout(5)
+    b.settimeout(5)
+    yield a, b
+    a.close()
+    b.close()
+
+
+class _Boom:
+    """Pickle payload with an observable ``__reduce__`` side effect."""
+
+    loaded = False
+
+    def __reduce__(self):
+        return (setattr, (_Boom, "loaded", True))
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        send_msg(a, {"type": "ready", "n": 7}, KEY)
+        assert recv_msg(b, KEY) == {"type": "ready", "n": 7}
+
+    def test_clean_eof_is_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_msg(b, KEY) is None
+
+    def test_truncated_frame_rejected(self, pair):
+        a, b = pair
+        frame = _build_frame(pickle.dumps({"type": "ready"}), KEY)
+        a.sendall(frame[: len(frame) - 5])
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_msg(b, KEY)
+
+    def test_oversized_frame_rejected_before_allocation(self, pair):
+        a, b = pair
+        # Claim a body far past the cap; send only the header.  The reject
+        # must come from the length check alone — no allocation, no read.
+        a.sendall(struct.pack(">I", _MAX_FRAME * 4))
+        with pytest.raises(ProtocolError, match="refusing to allocate"):
+            recv_msg(b, KEY)
+
+    def test_runt_frame_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 8) + b"tooshort")
+        with pytest.raises(ProtocolError, match="runt"):
+            recv_msg(b, KEY)
+
+    def test_wrong_mac_rejected(self, pair):
+        a, b = pair
+        send_msg(a, {"type": "ready"}, OTHER)
+        with pytest.raises(AuthError, match="MAC verification failed"):
+            recv_msg(b, KEY)
+
+    def test_wrong_mac_payload_is_never_unpickled(self, pair):
+        """A frame MAC'd with the wrong key whose payload is a malicious
+        pickle must be rejected without its payload ever reaching the
+        unpickler."""
+        a, b = pair
+        _Boom.loaded = False
+        send_msg(a, {"bomb": _Boom()}, OTHER)
+        with pytest.raises(EngineError):
+            recv_msg(b, KEY)
+        assert _Boom.loaded is False
+
+    def test_tampered_payload_rejected(self, pair):
+        """Flipping one payload bit after MAC'ing breaks verification."""
+        a, b = pair
+        frame = bytearray(_build_frame(pickle.dumps({"type": "ready"}), KEY))
+        frame[-1] ^= 0x01
+        a.sendall(bytes(frame))
+        with pytest.raises(AuthError):
+            recv_msg(b, KEY)
+
+    def test_valid_mac_garbage_body_rejected(self, pair):
+        """Even with a valid MAC (right key, corrupt producer), a payload
+        the unpickler chokes on surfaces as ProtocolError, not a raw
+        pickle traceback."""
+        a, b = pair
+        a.sendall(_build_frame(b"\x00not-a-pickle", KEY))
+        with pytest.raises(ProtocolError, match="undecodable"):
+            recv_msg(b, KEY)
+
+    def test_error_frame_readable_across_key_mismatch(self, pair):
+        """The coordinator's rejection frame must reach a worker holding
+        the *wrong* key — that is the whole point of the unauthenticated
+        error-frame peek."""
+        a, b = pair
+        _send_error(a, KEY, "worker authentication failed: get the right key")
+        with pytest.raises(AuthError, match="get the right key"):
+            recv_msg(b, OTHER)
+
+
+class TestHello:
+    def test_round_trip(self, pair):
+        a, b = pair
+        send_hello(a, "w1", KEY)
+        hello = recv_hello(b, KEY)
+        assert hello == {
+            "type": "hello",
+            "version": PROTOCOL_VERSION,
+            "worker": "w1",
+        }
+
+    def test_garbage_handshake_rejected_without_allocation(self, pair):
+        a, b = pair
+        a.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+        # "GET " reads as a ~1.2 GB length; the hello cap rejects it cold.
+        with pytest.raises(ProtocolError, match="not a repro worker"):
+            recv_hello(b, KEY)
+
+    def test_legacy_v1_hello_rejected_actionably(self, pair):
+        a, b = pair
+        import json
+
+        body = json.dumps({"type": "hello", "version": 1, "worker": "old"}).encode()
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(AuthError, match="stale protocol version 1"):
+            recv_hello(b, KEY)
+
+    def test_wrong_secret_hello_rejected_actionably(self, pair):
+        a, b = pair
+        send_hello(a, "w1", OTHER)
+        with pytest.raises(AuthError, match="shared-secret mismatch"):
+            recv_hello(b, KEY)
+
+    def test_stale_version_hello_rejected(self, pair):
+        a, b = pair
+        send_hello(a, "w1", KEY, version=PROTOCOL_VERSION + 3)
+        with pytest.raises(AuthError, match="protocol version"):
+            recv_hello(b, KEY)
+
+
+class TestSecretResolution:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SECRET", "from-env")
+        assert resolve_secret("explicit") == b"explicit"
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_SECRET", "from-env")
+        assert resolve_secret(None) == b"from-env"
+
+    def test_default_key_without_any_secret(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE_SECRET", raising=False)
+        assert resolve_secret(None) == resolve_secret(None)
+        assert resolve_secret(None) != b""
+
+
+class TestConnectRetry:
+    def test_never_listening_address_bounded_and_diagnosed(self):
+        """Regression: a worker pointed at a never-listening port must give
+        up within its deadline (not per-attempt-timeout past it) and name
+        the last socket error in the message."""
+        probe = socketlib.socket()
+        probe.bind(("127.0.0.1", 0))
+        _host, port = probe.getsockname()
+        probe.close()  # nobody will ever listen here again
+        start = time.monotonic()
+        with pytest.raises(EngineError) as err:
+            _connect_with_retry("127.0.0.1", port, timeout=1.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0, f"retry loop overshot its deadline ({elapsed:.1f}s)"
+        assert "last error" in str(err.value)
+        assert f"127.0.0.1:{port}" in str(err.value)
+
+
+class TestFaultSpec:
+    def test_parse_round_trip(self):
+        spec = FaultSpec.parse("seed=7,drop=0.1,dup=0.2,torn=0.05,crash=3")
+        assert spec == FaultSpec(seed=7, drop=0.1, dup=0.2, torn=0.05, crash=3)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "drop=2.0",          # probability out of range
+            "drop=0.6,dup=0.6",  # probabilities sum past 1
+            "crash=0",           # crash must be >= 1
+            "delay_s=-1",        # negative delay
+            "frobnicate=1",      # unknown field
+            "drop=banana",       # not a number
+        ],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(EngineError):
+            FaultSpec.parse(bad)
+
+    def test_schedule_is_deterministic(self):
+        """Same seed, same frame sequence, same fault decisions — the whole
+        point of seed-driven injection is that a failing schedule replays."""
+        spec = FaultSpec(seed=11, drop=0.2, dup=0.2, torn=0.1, die=0.1, delay=0.1)
+        first = [FaultInjector(spec)._next_action() for _ in range(1)]  # warm check
+        inj_a, inj_b = FaultInjector(spec), FaultInjector(spec)
+        seq_a = [inj_a._next_action() for _ in range(300)]
+        seq_b = [inj_b._next_action() for _ in range(300)]
+        assert seq_a == seq_b
+        assert seq_a[0] == first[0]
+        # With these probabilities over 300 draws, every band fires.
+        assert {"drop", "dup", "torn", "die", "delay", "send"} <= set(seq_a)
+
+    def test_injected_death_is_a_connection_error(self):
+        spec = FaultSpec(seed=0, die=1.0)
+        injector = FaultInjector(spec)
+        a, b = socketlib.socketpair()
+        try:
+            with pytest.raises(InjectedDeath):
+                injector.send_frame(a, b"frame")
+            assert isinstance(InjectedDeath("x"), ConnectionError)
+        finally:
+            a.close()
+            b.close()
+
+    def test_exempt_frames_consume_no_draw(self):
+        spec = FaultSpec(seed=3, drop=1.0)
+        injector = FaultInjector(spec)
+        a, b = socketlib.socketpair()
+        try:
+            injector.send_frame(a, b"heartbeat", exempt=True)
+            b.settimeout(2)
+            assert b.recv(64) == b"heartbeat"  # delivered despite drop=1.0
+            injector.send_frame(a, b"payload")
+            assert injector.counts["drop"] == 1  # non-exempt frame dropped
+        finally:
+            a.close()
+            b.close()
+
+
+class TestResultSpool:
+    def test_put_entries_delete_round_trip(self, tmp_path):
+        spool = ResultSpool(tmp_path / "spool")
+        payload = {"chunk_id": "c1", "task_ids": ["a"], "results": [1], "stats": {}}
+        spool.put("sweepA", "c1", payload)
+        spool.put("sweepB", "c9", dict(payload, chunk_id="c9"))
+        assert spool.entries("sweepA") == [("c1", payload)]
+        spool.delete("sweepA", "c1")
+        assert spool.entries("sweepA") == []
+        spool.delete("sweepA", "c1")  # idempotent
+        assert [cid for cid, _ in spool.entries("sweepB")] == ["c9"]
+
+    def test_corrupt_entries_skipped_and_removed(self, tmp_path):
+        spool = ResultSpool(tmp_path / "spool")
+        payload = {"chunk_id": "c1", "task_ids": ["a"], "results": [1], "stats": {}}
+        spool.put("sweepA", "c1", payload)
+        torn = tmp_path / "spool" / "sweepA" / "c2.pkl"
+        torn.write_bytes(b"\x80\x05 torn mid-write")
+        assert spool.entries("sweepA") == [("c1", payload)]
+        assert not torn.exists()  # corrupt garbage is not kept around
