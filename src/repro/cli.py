@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the library's main entry points:
+Eight subcommands cover the library's main entry points:
 
 ``characterize``
     Section 2 pipeline: per-set demand distribution of one benchmark
@@ -41,16 +41,24 @@ Seven subcommands cover the library's main entry points:
     Execution worker for distributed sweeps: connects to a ``--backend
     socket`` coordinator and pulls task chunks until told to shut down.
 
+``store``
+    Maintenance for on-disk result stores: ``repro store
+    verify|repair|compact|migrate DIR`` re-checksums every record,
+    quarantines corrupt ones with per-record messages, reclaims
+    superseded records, and converts legacy one-JSON-file-per-task stores
+    to the sharded segment layout in place (see ``docs/engine.md``).
+
 All commands accept ``--scale {tiny,small,medium,paper}`` and ``--seed``
 (ignored by ``scenario``, whose files carry their own scale and seeds).
 ``run``, ``sweep`` and ``scenario run`` additionally accept the
 parallel-engine flags ``--jobs N`` (simulate combinations' schemes across N
 worker processes), ``--backend {inline,process,socket}`` (execution
 transport; ``socket`` listens on ``--bind HOST:PORT`` for ``repro worker``
-processes), ``--store DIR`` (persist per-task results as JSON; the
-manifest is stamped with the scenario's content hash) and ``--resume``
-(skip tasks already completed in the store — refused when the store was
-produced by a different scenario).  ``run`` and ``sweep`` also take
+processes), ``--store DIR`` (persist per-task results in a durable
+sharded store of checksummed records; the manifest is stamped with the
+scenario's content hash) and ``--resume`` (skip tasks already completed
+in the store — refused when the store was produced by a different
+scenario).  ``run`` and ``sweep`` also take
 ``--snug-monitor`` (SNUG classifies sets from an online streaming demand
 monitor; a plan property, so it behaves identically under every backend) —
 see :mod:`repro.engine`.  Every backend produces bit-identical results to
@@ -131,8 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_flags.add_argument(
         "--store", default=None, metavar="DIR",
-        help="parallel engine: persist per-task results as JSON under DIR "
-             "(manifest stamped with the scenario content hash)",
+        help="parallel engine: persist per-task results under DIR in the "
+             "sharded, checksummed segment store (manifest stamped with the "
+             "scenario content hash; scrub with `repro store verify`)",
     )
     engine_flags.add_argument(
         "--resume", action="store_true",
@@ -153,8 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flags.add_argument(
         "--secret-file", default=None, metavar="PATH",
         help="socket backend: file holding the shared worker-auth secret "
-             "(per-frame HMAC; a file keeps it off argv — default "
-             "$REPRO_ENGINE_SECRET, else unauthenticated integrity-only MACs)",
+             "(per-frame HMAC plus negotiated payload encryption; a file "
+             "keeps it off argv — default $REPRO_ENGINE_SECRET, else "
+             "unauthenticated, unencrypted integrity-only MACs with a loud "
+             "warning)",
     )
 
     # run/sweep only: the scenario file carries its own snug_monitor flag.
@@ -310,6 +321,16 @@ def build_parser() -> argparse.ArgumentParser:
              "on reconnect, surviving coordinator restarts",
     )
     p_worker.add_argument(
+        "--spool-gc", action="store_true",
+        help="garbage-collect spool directories of sweeps untouched for "
+             "--spool-gc-age seconds (the sweep being served is always "
+             "kept); requires --spool",
+    )
+    p_worker.add_argument(
+        "--spool-gc-age", type=float, default=7 * 24 * 3600.0, metavar="S",
+        help="age threshold for --spool-gc in seconds (default: 7 days)",
+    )
+    p_worker.add_argument(
         "--reconnect", action="store_true",
         help="re-dial the coordinator after a lost connection instead of "
              "exiting (each retry window bounded by --connect-timeout)",
@@ -319,6 +340,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault injection for hardening tests, e.g. "
              "'seed=7,drop=0.1,torn=0.05,die=0.02,dup=0.1' (see "
              "docs/engine.md for the grammar; implies --reconnect)",
+    )
+
+    p_store = sub.add_parser(
+        "store",
+        help="result-store maintenance: scrub checksums, quarantine corrupt "
+             "records, reclaim superseded ones, migrate legacy stores",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sverify = store_sub.add_parser(
+        "verify",
+        help="read-only scrub: re-checksum every record and report torn or "
+             "corrupt ones with per-record locations (exit 1 on damage)",
+    )
+    p_sverify.add_argument("dir", metavar="DIR", help="result store directory")
+    p_srepair = store_sub.add_parser(
+        "repair",
+        help="quarantine corrupt records under DIR/quarantine/ and truncate "
+             "torn segment tails; re-run the sweep with --resume afterwards "
+             "to re-simulate exactly the quarantined tasks",
+    )
+    p_srepair.add_argument("dir", metavar="DIR", help="result store directory")
+    p_scompact = store_sub.add_parser(
+        "compact",
+        help="rewrite each shard without superseded or tombstoned records "
+             "(refuses while corrupt records are present: repair first)",
+    )
+    p_scompact.add_argument("dir", metavar="DIR", help="result store directory")
+    p_smigrate = store_sub.add_parser(
+        "migrate",
+        help="convert a legacy one-JSON-file-per-task store to the sharded "
+             "segment layout in place (old files kept at "
+             "DIR/legacy-results.bak)",
+    )
+    p_smigrate.add_argument("dir", metavar="DIR", help="result store directory")
+    p_smigrate.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard count for the migrated store (default: 8)",
     )
     return parser
 
@@ -482,6 +540,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             connect_timeout=args.connect_timeout,
             secret=_read_secret_file(args.secret_file),
             spool_dir=args.spool,
+            spool_gc=args.spool_gc,
+            spool_gc_age=args.spool_gc_age,
             faults=args.inject_faults,
             reconnect=args.reconnect,
             stats=stats,
@@ -609,6 +669,30 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .engine.store import ResultStore, migrate_store
+
+    try:
+        if args.store_command == "verify":
+            report = ResultStore(args.dir).verify()
+            print(report.summary())
+            return 0 if report.ok else 1
+        if args.store_command == "repair":
+            with ResultStore(args.dir) as store:
+                print(store.repair().summary())
+            return 0
+        if args.store_command == "compact":
+            with ResultStore(args.dir) as store:
+                print(store.compact().summary())
+            return 0
+        # migrate
+        print(migrate_store(args.dir, shards=args.shards).summary())
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_overhead(args: argparse.Namespace) -> int:
     grid = SnugOverheadModel.table3()
     rows = [
@@ -631,6 +715,7 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "overhead": _cmd_overhead,
     "worker": _cmd_worker,
+    "store": _cmd_store,
 }
 
 
@@ -661,8 +746,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--chunk requires --stream")
         if args.chunk is not None and args.chunk < 1:
             parser.error("--chunk must be >= 1 access")
-    if args.command == "worker" and _parse_hostport(args.connect) is None:
-        parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+    if args.command == "worker":
+        if _parse_hostport(args.connect) is None:
+            parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+        if args.spool_gc and args.spool is None:
+            parser.error("--spool-gc requires --spool DIR")
+        if args.spool_gc_age < 0:
+            parser.error("--spool-gc-age must be >= 0 seconds")
+    if args.command == "store" and args.store_command == "migrate":
+        if args.shards is not None and args.shards < 1:
+            parser.error("--shards must be >= 1")
     return _COMMANDS[args.command](args)
 
 

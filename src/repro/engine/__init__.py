@@ -87,22 +87,30 @@ it.
 Result store layout
 -------------------
 Passing ``store`` to :class:`~repro.engine.runner.ParallelRunner` persists
-every finished task as JSON (floats round-trip exactly via ``repr``):
+every finished task as a checksummed record in a sharded, append-only
+segment store (:mod:`repro.engine.store`):
 
 .. code-block:: text
 
     <store>/
         manifest.json           # config + plan + schemes fingerprint
-        results/
-            <task_id>.json      # {"task": {...}, "result": SimResult dict}
+        shards/<NN>/            # sha256(task_id) % shards
+            seg-<N>.seg         # CRC32C-checksummed, commit-marked records
+        quarantine/             # corrupt records set aside by `store repair`
 
 ``task_id`` is ``"<mix_id>__<scheme>"`` (``"...__cc__p050"`` for a CC
-probability point).  Writes are atomic (temp file + ``os.replace``), so a
-killed run never leaves a half-written result.  The manifest is verified on
+probability point); each record body is canonical JSON holding the task,
+its scenario hash, and the result dict (floats round-trip exactly via
+``repr``).  Every save is fsynced behind a write-ahead commit marker, so a
+killed run loses at most the one record it never acknowledged — open
+truncates the torn tail and continues.  The manifest is verified on
 reopen: resuming with a different config/plan/scheme list raises
 :class:`~repro.common.errors.EngineError` instead of mixing incomparable
 results.  The store is what makes backends interchangeable mid-experiment —
 any backend writing the same layout can finish a sweep another one started.
+``repro store verify|repair|compact|migrate`` scrubs checksums,
+quarantines corrupt records, reclaims superseded ones, and converts legacy
+v1 (one-JSON-file-per-task) stores in place.
 
 Resume
 ------

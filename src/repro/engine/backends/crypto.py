@@ -1,0 +1,224 @@
+"""Payload encryption for the socket backend's protocol v2.
+
+Result payloads used to cross the wire authenticated (per-frame HMAC) but
+plaintext.  This module derives independent AEAD keys from the shared
+secret via HKDF-SHA256 (RFC 5869, stdlib ``hmac``/``hashlib``) and
+encrypts every pickled payload after the hello handshake.
+
+Two ciphers are negotiated, best-available first:
+
+``aes-gcm``
+    AES-256-GCM through the optional :mod:`cryptography` package.  The
+    import is gated — the engine must run on hosts that only have the
+    stdlib — so availability is advertised in the hello and the
+    coordinator picks the strongest cipher both sides support.
+
+``hmac-ctr``
+    A pure-stdlib authenticated cipher: an HMAC-SHA256 keystream in
+    counter mode XORed over the plaintext, then an encrypt-then-MAC tag
+    (HMAC-SHA256 over nonce ‖ ciphertext, under a separately derived MAC
+    key).  Not a performance cipher, but a sound AEAD construction from
+    audited primitives, and it means encryption is never silently skipped
+    just because ``cryptography`` is missing.
+
+Key separation: each direction-independent channel key is
+``HKDF(secret, salt=session-nonce, info="repro-engine-v2 " + cipher)``,
+so payload keys are never the raw shared secret and never the per-frame
+MAC key.  Under the *default* key (no secret configured) encryption is
+pointless — anyone can derive the keys — so the channel stays
+integrity-only and both sides print a loud warning instead of pretending.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+from typing import List, Optional, Sequence
+
+from ...common.errors import ProtocolError
+
+try:  # pragma: no cover - exercised only where cryptography is installed
+    from cryptography.hazmat.primitives.ciphers.aead import AESGCM as _AESGCM
+except Exception:  # pragma: no cover - ImportError or a broken install
+    _AESGCM = None
+
+__all__ = [
+    "hkdf_sha256",
+    "supported_ciphers",
+    "negotiate_cipher",
+    "make_cipher",
+    "PayloadCipher",
+    "AesGcmCipher",
+    "HmacCtrCipher",
+]
+
+#: Preference order, strongest first.  ``supported_ciphers`` filters this
+#: down to what the running interpreter can actually do.
+CIPHER_PREFERENCE = ("aes-gcm", "hmac-ctr")
+
+_HASH_LEN = hashlib.sha256().digest_size
+
+
+def hkdf_sha256(secret: bytes, *, salt: bytes, info: bytes, length: int = 32) -> bytes:
+    """RFC 5869 HKDF over SHA-256 (extract, then expand)."""
+    if not 0 < length <= 255 * _HASH_LEN:
+        raise ValueError(f"HKDF length out of range: {length}")
+    prk = hmac.new(salt or b"\x00" * _HASH_LEN, secret, hashlib.sha256).digest()
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac.new(
+            prk, block + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+class PayloadCipher:
+    """Interface: seal/open one payload with a fresh random nonce each time."""
+
+    #: Wire name, as negotiated in the hello/welcome exchange.
+    name: str = ""
+
+    def seal(self, plaintext: bytes) -> bytes:
+        raise NotImplementedError
+
+    def open(self, blob: bytes) -> bytes:
+        raise NotImplementedError
+
+
+class AesGcmCipher(PayloadCipher):
+    """AES-256-GCM payload cipher (requires the ``cryptography`` package)."""
+
+    name = "aes-gcm"
+    _NONCE = 12
+
+    def __init__(self, key: bytes) -> None:
+        if _AESGCM is None:
+            raise ProtocolError(
+                "aes-gcm negotiated but the cryptography package is not "
+                "importable on this host"
+            )
+        self._aead = _AESGCM(key)
+
+    def seal(self, plaintext: bytes) -> bytes:
+        nonce = os.urandom(self._NONCE)
+        return nonce + self._aead.encrypt(nonce, plaintext, None)
+
+    def open(self, blob: bytes) -> bytes:
+        if len(blob) < self._NONCE + 16:
+            raise ProtocolError(
+                f"encrypted payload too short ({len(blob)} bytes) to hold an "
+                "aes-gcm nonce and tag"
+            )
+        try:
+            return self._aead.decrypt(blob[: self._NONCE], blob[self._NONCE :], None)
+        except Exception:
+            raise ProtocolError(
+                "encrypted payload failed aes-gcm authentication "
+                "(tampered, truncated, or keyed differently)"
+            ) from None
+
+
+class HmacCtrCipher(PayloadCipher):
+    """Stdlib authenticated cipher: HMAC-SHA256 keystream + encrypt-then-MAC.
+
+    The keystream block for counter *i* is
+    ``HMAC-SHA256(enc_key, nonce ‖ be64(i))``; the tag is
+    ``HMAC-SHA256(mac_key, nonce ‖ ciphertext)`` with ``mac_key`` derived
+    independently of ``enc_key``.  A 16-byte random nonce per message
+    keeps keystreams from ever repeating under one channel key.
+    """
+
+    name = "hmac-ctr"
+    _NONCE = 16
+    _TAG = 32
+
+    def __init__(self, key: bytes) -> None:
+        self._enc_key = hkdf_sha256(key, salt=b"", info=b"hmac-ctr enc")
+        self._mac_key = hkdf_sha256(key, salt=b"", info=b"hmac-ctr mac")
+
+    def _keystream_xor(self, nonce: bytes, data: bytes) -> bytes:
+        out = bytearray(len(data))
+        for i in range(0, len(data), _HASH_LEN):
+            block = hmac.new(
+                self._enc_key,
+                nonce + struct.pack(">Q", i // _HASH_LEN),
+                hashlib.sha256,
+            ).digest()
+            chunk = data[i : i + _HASH_LEN]
+            out[i : i + len(chunk)] = bytes(
+                a ^ b for a, b in zip(chunk, block)
+            )
+        return bytes(out)
+
+    def seal(self, plaintext: bytes) -> bytes:
+        nonce = os.urandom(self._NONCE)
+        ciphertext = self._keystream_xor(nonce, plaintext)
+        tag = hmac.new(
+            self._mac_key, nonce + ciphertext, hashlib.sha256
+        ).digest()
+        return nonce + ciphertext + tag
+
+    def open(self, blob: bytes) -> bytes:
+        if len(blob) < self._NONCE + self._TAG:
+            raise ProtocolError(
+                f"encrypted payload too short ({len(blob)} bytes) to hold an "
+                "hmac-ctr nonce and tag"
+            )
+        nonce, body = blob[: self._NONCE], blob[self._NONCE :]
+        ciphertext, tag = body[: -self._TAG], body[-self._TAG :]
+        want = hmac.new(
+            self._mac_key, nonce + ciphertext, hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(tag, want):
+            raise ProtocolError(
+                "encrypted payload failed hmac-ctr authentication "
+                "(tampered, truncated, or keyed differently)"
+            )
+        return self._keystream_xor(nonce, ciphertext)
+
+
+_CIPHERS = {AesGcmCipher.name: AesGcmCipher, HmacCtrCipher.name: HmacCtrCipher}
+
+
+def supported_ciphers() -> List[str]:
+    """Cipher names this interpreter can run, preference order."""
+    names = list(CIPHER_PREFERENCE)
+    if _AESGCM is None:
+        names.remove(AesGcmCipher.name)
+    return names
+
+
+def negotiate_cipher(offered: Sequence[str]) -> Optional[str]:
+    """Strongest locally-supported cipher among those the peer *offered*.
+
+    Returns ``None`` when there is no overlap (the caller decides whether
+    that is fatal — it is, whenever a real secret is configured).
+    """
+    for name in supported_ciphers():
+        if name in offered:
+            return name
+    return None
+
+
+def make_cipher(name: str, secret: bytes, *, salt: bytes) -> PayloadCipher:
+    """Build the named cipher keyed via HKDF from *secret* and *salt*.
+
+    *salt* is the per-connection session nonce from the hello exchange, so
+    every connection gets fresh channel keys even under one shared secret.
+    """
+    cls = _CIPHERS.get(name)
+    if cls is None:
+        raise ProtocolError(
+            f"peer negotiated unknown payload cipher {name!r}; "
+            f"this build supports: {', '.join(supported_ciphers())}"
+        )
+    key = hkdf_sha256(
+        secret, salt=salt, info=b"repro-engine-v2 payload " + name.encode()
+    )
+    return cls(key)

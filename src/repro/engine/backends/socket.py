@@ -20,8 +20,10 @@ connection — and every other message is a pickled dict.  Messages:
 ========== =========== ====================================================
 direction  type        payload
 ========== =========== ====================================================
-worker →   hello       ``worker``, ``version`` (JSON handshake)
-coord  →   welcome     ``version``, ``sweep_id`` (accepts the worker)
+worker →   hello       ``worker``, ``version``, ``ciphers``, ``nonce``
+                       (JSON handshake)
+coord  →   welcome     ``version``, ``sweep_id`` (+``cipher``, ``nonce``
+                       when payload encryption is negotiated)
 coord  →   error       rejection reason (JSON; aborts the worker)
 worker →   result      ``chunk_id``, ``task_ids``, ``results``, ``error``,
                        ``stats``, ``key`` (+``spooled`` on replay)
@@ -36,6 +38,20 @@ coord  →   shutdown    no more work; the worker exits
 Version 1 peers (unauthenticated, un-MAC'd framing) are detected in the
 handshake and rejected with an actionable upgrade message; a non-protocol
 peer (port scanner, misdirected client) never reaches the unpickler.
+
+Payload encryption (a backward-compatible v2 extension): when a real
+shared secret is configured, every post-handshake payload is encrypted
+with a cipher negotiated in the hello/welcome exchange — AES-256-GCM when
+both ends have the optional ``cryptography`` package, else a pure-stdlib
+authenticated HMAC-CTR construction (:mod:`repro.engine.backends.crypto`).
+Channel keys derive from the secret via HKDF-SHA256 salted with both
+sides' handshake nonces, so they are per-connection and never the raw
+secret or the frame-MAC key.  A coordinator holding a real secret refuses
+workers that cannot encrypt, and both sides refuse plaintext payloads on
+an encrypted channel, so encryption cannot be silently downgraded.  Under
+the default key encryption is pointless (the key is public) — the channel
+stays integrity-only and both ends print a loud warning saying exactly
+that.
 
 Scheduling
 ----------
@@ -73,14 +89,16 @@ delays, duplicates, torn frames and mid-send worker death — see
 :mod:`repro.engine.backends.faults` and the fault-matrix suite.
 
 .. warning::
-   Per-frame MACs authenticate peers and reject tampered frames, but the
-   payloads are **pickled and unencrypted**: anyone holding the shared
-   secret can execute code on the peers, and the traffic is readable on
-   the wire.  Treat the secret like an SSH key, bind loopback (the
-   default) or trusted networks only, and note that ``error`` frames are
-   deliberately surfaced *without* MAC verification (a peer with the wrong
-   secret could not read the rejection otherwise) — they can only abort a
-   worker with a message, never execute anything.
+   Per-frame MACs authenticate peers and encrypted payloads keep results
+   confidential, but the payloads are still **pickled**: anyone holding
+   the shared secret can execute code on the peers.  Treat the secret
+   like an SSH key, bind loopback (the default) or trusted networks only,
+   and note that ``error`` frames are deliberately surfaced *without* MAC
+   verification (a peer with the wrong secret could not read the
+   rejection otherwise) — they are plaintext JSON that can only abort a
+   worker with a message, never execute anything.  With no secret
+   configured the traffic is readable on the wire; the loud startup
+   warning exists so nobody discovers that in production.
 """
 
 from __future__ import annotations
@@ -94,11 +112,12 @@ import os
 import pickle
 import socket
 import struct
+import sys
 import threading
 import time
 from pathlib import Path
 from queue import Empty, Queue
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ...common.config import SystemConfig
 from ...common.errors import AuthError, EngineError, ProtocolError
@@ -107,6 +126,7 @@ from ...experiments.runner import RunPlan
 from ..execution import execute_task_chunk
 from ..tasks import SimTask, estimate_chunk_cost
 from .base import ExecutionBackend
+from .crypto import PayloadCipher, make_cipher, negotiate_cipher, supported_ciphers
 from .faults import FaultInjector, FaultSpec
 
 __all__ = [
@@ -162,6 +182,45 @@ def resolve_secret(secret: str | bytes | None) -> bytes:
     if secret is None:
         secret = os.environ.get(SECRET_ENV)
     return secret.encode() if secret else _DEFAULT_KEY
+
+
+#: Marker byte prefixed to encrypted payloads.  Distinct from both pickle
+#: streams (``\\x80``) and JSON control frames (``{``), so a receiver can
+#: tell — and *enforce* — which form it was handed.
+_ENC_MARKER = b"E"
+
+#: Handshake nonce length (hex-encoded on the wire); both sides' nonces
+#: salt the HKDF so channel keys are fresh per connection.
+_NONCE_BYTES = 16
+
+
+def _warn_default_key(role: str) -> None:
+    """Loud, unmissable stderr warning for unencrypted default-key channels."""
+    print(
+        f"WARNING: repro engine {role}: no shared secret configured — socket "
+        f"payloads are UNENCRYPTED and unauthenticated (integrity-only "
+        f"default key); set {SECRET_ENV} on the coordinator and every worker "
+        "to enable payload encryption",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
+def _channel_cipher(
+    name: str, key: bytes, worker_nonce: str, coord_nonce: str
+) -> PayloadCipher:
+    """Build the negotiated per-connection payload cipher from both nonces."""
+    try:
+        salt = bytes.fromhex(worker_nonce) + bytes.fromhex(coord_nonce)
+    except (ValueError, TypeError):
+        raise ProtocolError(
+            "handshake nonce is not valid hex; cannot derive channel keys"
+        ) from None
+    if not salt:
+        raise ProtocolError(
+            "handshake carried no nonces; cannot derive channel keys"
+        )
+    return make_cipher(name, key, salt=salt)
 
 
 # -- framing ----------------------------------------------------------------
@@ -265,21 +324,34 @@ def send_msg(
     message: dict,
     key: bytes | str | None = None,
     *,
+    cipher: PayloadCipher | None = None,
     injector: FaultInjector | None = None,
     exempt: bool = False,
 ) -> None:
-    """Send one MAC'd pickled message."""
+    """Send one MAC'd pickled message, encrypted when a *cipher* is active."""
     body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if cipher is not None:
+        body = _ENC_MARKER + cipher.seal(body)
     send_frame(sock, body, resolve_secret(key), injector=injector, exempt=exempt)
 
 
-def recv_msg(sock: socket.socket, key: bytes | str | None = None) -> Optional[dict]:
+def recv_msg(
+    sock: socket.socket,
+    key: bytes | str | None = None,
+    *,
+    cipher: PayloadCipher | None = None,
+) -> Optional[dict]:
     """Receive one message; ``None`` when the peer closed the connection.
 
     The frame MAC is verified *before* unpickling, so attacker-controlled
     bytes are rejected with :class:`AuthError`/:class:`ProtocolError`
     instead of reaching the unpickler.  JSON control frames (``error``)
     raise :class:`AuthError` carrying the coordinator's message.
+
+    When a *cipher* was negotiated it is enforced both ways: an encrypted
+    payload with no cipher, or a plaintext pickle on an encrypted channel,
+    is a :class:`ProtocolError` — a peer cannot silently downgrade the
+    channel after the handshake.
     """
     payload = _recv_frame(sock, resolve_secret(key))
     if payload is None:
@@ -289,6 +361,16 @@ def recv_msg(sock: socket.socket, key: bytes | str | None = None) -> Optional[di
         if control is not None and control.get("type") == "error":
             raise AuthError(f"coordinator rejected this worker: {control.get('error')}")
         raise ProtocolError("unexpected JSON control frame")
+    if payload[:1] == _ENC_MARKER:
+        if cipher is None:
+            raise ProtocolError(
+                "encrypted payload on a channel that negotiated no cipher"
+            )
+        payload = cipher.open(payload[1:])
+    elif cipher is not None:
+        raise ProtocolError(
+            "plaintext payload on an encrypted channel (downgrade refused)"
+        )
     try:
         message = pickle.loads(payload)
     except Exception:
@@ -304,11 +386,24 @@ def send_hello(
     key: bytes | str | None = None,
     *,
     version: int = PROTOCOL_VERSION,
+    ciphers: Sequence[str] | None = None,
+    nonce: str | None = None,
     injector: FaultInjector | None = None,
 ) -> None:
-    """Send the JSON handshake frame (MAC'd like every other frame)."""
-    body = json.dumps({"type": "hello", "version": version, "worker": worker}).encode()
-    send_frame(sock, body, resolve_secret(key), injector=injector)
+    """Send the JSON handshake frame (MAC'd like every other frame).
+
+    *ciphers* advertises the payload ciphers this worker can run (defaults
+    to everything the interpreter supports) and *nonce* is the worker's
+    half of the HKDF salt; the coordinator answers both in its welcome.
+    """
+    hello = {
+        "type": "hello",
+        "version": version,
+        "worker": worker,
+        "ciphers": list(supported_ciphers() if ciphers is None else ciphers),
+        "nonce": os.urandom(_NONCE_BYTES).hex() if nonce is None else nonce,
+    }
+    send_frame(sock, json.dumps(hello).encode(), resolve_secret(key), injector=injector)
 
 
 def recv_hello(sock: socket.socket, key: bytes | str | None = None) -> Optional[dict]:
@@ -458,6 +553,41 @@ class ResultSpool:
     def delete(self, sweep_id: str, chunk_id: str) -> None:
         """Drop one acknowledged entry (idempotent)."""
         self._entry(sweep_id, chunk_id).unlink(missing_ok=True)
+
+    def gc(self, max_age_s: float, *, keep: Set[str] = frozenset()) -> List[str]:
+        """Remove stale sweep directories; returns the sweep ids removed.
+
+        Every acked entry is deleted individually, but the per-sweep
+        directories (and entries for sweeps that never resumed) accumulate
+        forever on long-lived worker hosts.  A sweep directory is removed
+        only when it is *both* old — nothing under it (nor the directory
+        itself) touched within *max_age_s* seconds — and not in *keep*
+        (the sweep this worker is currently serving), so an in-flight
+        sweep's journal can never be collected out from under it.
+        """
+        removed: List[str] = []
+        if not self.root.is_dir():
+            return removed
+        now = time.time()
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir() or entry.name in keep:
+                continue
+            try:
+                stamps = [entry.stat().st_mtime] + [
+                    child.stat().st_mtime for child in entry.iterdir()
+                ]
+            except OSError:  # pragma: no cover - raced by another worker
+                continue
+            if now - max(stamps) < max_age_s:
+                continue
+            try:
+                for child in entry.iterdir():
+                    child.unlink(missing_ok=True)
+                entry.rmdir()
+            except OSError:  # pragma: no cover - raced by another worker
+                continue
+            removed.append(entry.name)
+        return removed
 
 
 # -- coordinator ------------------------------------------------------------
@@ -683,12 +813,17 @@ class SocketBackend(ExecutionBackend):
         self.address: Tuple[str, int] | None = None
         #: Workers that ever completed a handshake (for the CLI summary).
         self.workers_seen = 0
+        #: Payload cipher negotiated with the most recent worker (all
+        #: workers of one coordinator negotiate the same one).
+        self.cipher_name: str | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
     def bind(self) -> Tuple[str, int]:
         """Start listening (idempotent); returns the bound ``(host, port)``."""
         if self.listener is None:
+            if self._key == _DEFAULT_KEY:
+                _warn_default_key("coordinator")
             self.listener = socket.create_server((self.host, self.port), backlog=32)
             self.address = self.listener.getsockname()[:2]
         return self.address
@@ -816,16 +951,43 @@ class SocketBackend(ExecutionBackend):
                 return
             if hello is None:
                 return  # clean EOF probe; never a worker
+            # Payload-cipher negotiation: mandatory under a real secret
+            # (a worker that cannot encrypt is refused — no silent
+            # downgrade), skipped under the public default key where
+            # encryption would only be theater.
+            cipher: PayloadCipher | None = None
+            welcome = {
+                "type": "welcome",
+                "version": PROTOCOL_VERSION,
+                "sweep_id": sweep,
+            }
+            if self._key != _DEFAULT_KEY:
+                chosen = negotiate_cipher(hello.get("ciphers") or [])
+                if chosen is None or not hello.get("nonce"):
+                    _send_error(
+                        conn,
+                        self._key,
+                        "this coordinator requires encrypted result payloads "
+                        "(a shared secret is configured) but the worker "
+                        "offered no supported payload cipher — upgrade repro "
+                        "on the worker host",
+                    )
+                    return
+                coord_nonce = os.urandom(_NONCE_BYTES).hex()
+                welcome["cipher"] = chosen
+                welcome["nonce"] = coord_nonce
+                cipher = _channel_cipher(
+                    chosen, self._key, str(hello["nonce"]), coord_nonce
+                )
+                self.cipher_name = chosen
             state.worker_joined(conn)
             registered = True
             self.workers_seen += 1
-            send_msg(
-                conn,
-                {"type": "welcome", "version": PROTOCOL_VERSION, "sweep_id": sweep},
-                self._key,
-            )
+            # The welcome itself travels plaintext (the worker cannot have
+            # the coordinator nonce yet); everything after it is encrypted.
+            send_msg(conn, welcome, self._key)
             while True:
-                msg = recv_msg(conn, self._key)
+                msg = recv_msg(conn, self._key, cipher=cipher)
                 if msg is None:
                     return  # worker hung up; finally requeues
                 kind = msg.get("type")
@@ -845,6 +1007,7 @@ class SocketBackend(ExecutionBackend):
                         conn,
                         {"type": "ack", "key": msg.get("key", msg.get("chunk_id"))},
                         self._key,
+                        cipher=cipher,
                     )
                     continue
                 if kind == "ready":
@@ -857,7 +1020,7 @@ class SocketBackend(ExecutionBackend):
                         current = None
                     claimed = state.claim()
                     if claimed is None:
-                        send_msg(conn, {"type": "shutdown"}, self._key)
+                        send_msg(conn, {"type": "shutdown"}, self._key, cipher=cipher)
                         return
                     current, tasks = claimed
                     send_msg(
@@ -871,6 +1034,7 @@ class SocketBackend(ExecutionBackend):
                             "cache_root": self.cache_root,
                         },
                         self._key,
+                        cipher=cipher,
                     )
                     continue
                 return  # protocol violation: treat as dead
@@ -888,7 +1052,12 @@ class SocketBackend(ExecutionBackend):
 
     def describe(self) -> str:
         seen = self.workers_seen
-        auth = "authenticated" if self._key != _DEFAULT_KEY else "open"
+        if self._key != _DEFAULT_KEY:
+            auth = "authenticated"
+            if self.cipher_name is not None:
+                auth += f", {self.cipher_name} encrypted"
+        else:
+            auth = "open"
         return f"socket ({seen} worker{'s' if seen != 1 else ''} participated, {auth})"
 
 
@@ -929,6 +1098,7 @@ def _heartbeat_loop(
     stop: threading.Event,
     interval: float,
     key: bytes,
+    cipher: PayloadCipher | None,
     injector: FaultInjector | None,
 ) -> None:
     while not stop.wait(interval):
@@ -937,7 +1107,14 @@ def _heartbeat_loop(
                 # Heartbeats are fault-exempt: they are timing-driven, so
                 # faulting them would make the injected schedule depend on
                 # wall-clock interleaving instead of the frame sequence.
-                send_msg(sock, {"type": "heartbeat"}, key, injector=injector, exempt=True)
+                send_msg(
+                    sock,
+                    {"type": "heartbeat"},
+                    key,
+                    cipher=cipher,
+                    injector=injector,
+                    exempt=True,
+                )
         except OSError:
             return
 
@@ -954,7 +1131,11 @@ def _sendable_error(error: BaseException | None) -> BaseException | None:
 
 
 def _await_ack(
-    sock: socket.socket, key: bytes, expect: str, timeout: float
+    sock: socket.socket,
+    key: bytes,
+    expect: str,
+    timeout: float,
+    cipher: PayloadCipher | None = None,
 ) -> None:
     """Wait for the coordinator's ack of one result frame.
 
@@ -968,7 +1149,7 @@ def _await_ack(
     sock.settimeout(timeout)
     try:
         while True:
-            msg = recv_msg(sock, key)
+            msg = recv_msg(sock, key, cipher=cipher)
             if msg is None:
                 raise ProtocolError("coordinator closed before acknowledging a result")
             if msg.get("type") == "ack":
@@ -985,10 +1166,12 @@ def _await_ack(
             pass
 
 
-def _recv_skipping_acks(sock: socket.socket, key: bytes) -> Optional[dict]:
+def _recv_skipping_acks(
+    sock: socket.socket, key: bytes, cipher: PayloadCipher | None = None
+) -> Optional[dict]:
     """Next non-ack message (duplicate result frames earn duplicate acks)."""
     while True:
-        msg = recv_msg(sock, key)
+        msg = recv_msg(sock, key, cipher=cipher)
         if msg is None or msg.get("type") != "ack":
             return msg
 
@@ -1005,6 +1188,7 @@ def _serve_connection(
     heartbeat_interval: float,
     ack_timeout: float,
     counters: Dict[str, int],
+    spool_gc_age: float | None = None,
 ) -> None:
     """One worker connection: handshake, spool replay, then the chunk loop.
 
@@ -1015,8 +1199,9 @@ def _serve_connection(
     """
     sock.settimeout(None)
     send_lock = threading.Lock()
+    nonce = os.urandom(_NONCE_BYTES).hex()
     with send_lock:
-        send_hello(sock, name, key, injector=injector)
+        send_hello(sock, name, key, nonce=nonce, injector=injector)
     welcome = recv_msg(sock, key)
     if welcome is None:
         raise ProtocolError("coordinator closed the connection during handshake")
@@ -1027,7 +1212,26 @@ def _serve_connection(
             f"coordinator speaks protocol version {welcome.get('version')}, "
             f"this worker speaks {PROTOCOL_VERSION}; upgrade the older side"
         )
+    cipher: PayloadCipher | None = None
+    if welcome.get("cipher"):
+        cipher = _channel_cipher(
+            str(welcome["cipher"]), key, nonce, str(welcome.get("nonce", ""))
+        )
+    elif key != _DEFAULT_KEY:
+        # This worker holds a real secret, so the coordinator must too (the
+        # welcome's MAC verified) — a welcome without a cipher means a
+        # pre-encryption coordinator.  Refuse rather than send plaintext.
+        raise AuthError(
+            "coordinator did not negotiate payload encryption but a shared "
+            "secret is configured; upgrade repro on the coordinator host "
+            "(this worker refuses to send results in plaintext)"
+        )
     sweep_id = str(welcome.get("sweep_id", ""))
+
+    if spool is not None and spool_gc_age is not None:
+        # Collect journal directories of long-dead sweeps, never the one
+        # this connection is about to serve (or replay into).
+        spool.gc(spool_gc_age, keep={sweep_id})
 
     if spool is not None:
         # Replay journaled results the previous coordinator (or connection)
@@ -1036,15 +1240,15 @@ def _serve_connection(
             message = {"type": "result", "error": None, "spooled": True,
                        "key": chunk_id, **payload}
             with send_lock:
-                send_msg(sock, message, key, injector=injector)
-            _await_ack(sock, key, chunk_id, ack_timeout)
+                send_msg(sock, message, key, cipher=cipher, injector=injector)
+            _await_ack(sock, key, chunk_id, ack_timeout, cipher)
             spool.delete(sweep_id, chunk_id)
             counters["replayed"] += 1
 
     while max_chunks is None or counters["computed"] < max_chunks:
         with send_lock:
-            send_msg(sock, {"type": "ready"}, key, injector=injector)
-        msg = _recv_skipping_acks(sock, key)
+            send_msg(sock, {"type": "ready"}, key, cipher=cipher, injector=injector)
+        msg = _recv_skipping_acks(sock, key, cipher)
         if msg is None:
             raise ProtocolError("coordinator closed the connection")
         if msg.get("type") == "shutdown":
@@ -1054,7 +1258,7 @@ def _serve_connection(
         stop = threading.Event()
         beat = threading.Thread(
             target=_heartbeat_loop,
-            args=(sock, send_lock, stop, heartbeat_interval, key, injector),
+            args=(sock, send_lock, stop, heartbeat_interval, key, cipher, injector),
             daemon=True,
         )
         beat.start()
@@ -1084,9 +1288,10 @@ def _serve_connection(
                 {"type": "result", "error": _sendable_error(error),
                  "key": chunk_id, **payload},
                 key,
+                cipher=cipher,
                 injector=injector,
             )
-        _await_ack(sock, key, chunk_id, ack_timeout)
+        _await_ack(sock, key, chunk_id, ack_timeout, cipher)
         if spool is not None and error is None:
             spool.delete(sweep_id, chunk_id)
     return
@@ -1102,6 +1307,8 @@ def run_worker(
     max_chunks: int | None = None,
     secret: str | None = None,
     spool_dir: str | None = None,
+    spool_gc: bool = False,
+    spool_gc_age: float = 7 * 24 * 3600.0,
     faults: FaultSpec | FaultInjector | str | None = None,
     reconnect: bool = False,
     ack_timeout: float = 10.0,
@@ -1116,16 +1323,21 @@ def run_worker(
     (useful when workers mount it elsewhere); *max_chunks* bounds how many
     chunks to process before exiting (mainly for tests).
 
-    *secret* authenticates the worker (default ``$REPRO_ENGINE_SECRET``);
-    *spool_dir* journals completed chunks for crash-safe replay;
-    *faults* injects a deterministic failure schedule (and implies
-    *reconnect*); *reconnect* re-dials the coordinator after a connection
-    loss — each reattempt window is bounded by *connect_timeout*, and once
-    the coordinator is gone for good the worker exits with the work it has.
-    *stats*, when passed, is filled with ``computed``/``replayed``/
-    ``reconnects`` counters.  Returns the number of chunks computed.
+    *secret* authenticates the worker and keys payload encryption (default
+    ``$REPRO_ENGINE_SECRET``); *spool_dir* journals completed chunks for
+    crash-safe replay, and *spool_gc* additionally collects journal
+    directories of sweeps untouched for *spool_gc_age* seconds (the sweep
+    being served is always kept); *faults* injects a deterministic failure
+    schedule (and implies *reconnect*); *reconnect* re-dials the
+    coordinator after a connection loss — each reattempt window is bounded
+    by *connect_timeout*, and once the coordinator is gone for good the
+    worker exits with the work it has.  *stats*, when passed, is filled
+    with ``computed``/``replayed``/``reconnects`` counters.  Returns the
+    number of chunks computed.
     """
     key = resolve_secret(secret)
+    if key == _DEFAULT_KEY:
+        _warn_default_key("worker")
     injector: FaultInjector | None = None
     if faults is not None:
         injector = faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
@@ -1156,6 +1368,7 @@ def run_worker(
                 heartbeat_interval=heartbeat_interval,
                 ack_timeout=ack_timeout,
                 counters=counters,
+                spool_gc_age=spool_gc_age if spool_gc else None,
             )
             break  # clean shutdown (or max_chunks reached)
         except AuthError:

@@ -60,7 +60,8 @@ class ParallelRunner:
         (``"inline"``/``"process"``/``"socket"``), or ``None`` to derive
         one from *jobs* (the classic behaviour).
     store:
-        Optional directory for the on-disk JSON result store.
+        Optional directory for the on-disk sharded result store
+        (:mod:`repro.engine.store`).
     resume:
         Skip tasks whose results are already in the store (requires
         *store*).
@@ -181,17 +182,27 @@ class ParallelRunner:
 
         pending = [t for t in tasks if t.task_id not in results]
         self.tasks_run = len(pending)
-        if pending:
-            chunks = self._chunk(pending)
-            for task, result in self.backend.submit_chunks(
-                self.config, self.plan, chunks
-            ):
-                if self.store is not None:
-                    self.store.save(
-                        task.task_id,
-                        {"task": dataclasses.asdict(task), "result": result.to_dict()},
-                    )
-                results[task.task_id] = result
+        try:
+            if pending:
+                chunks = self._chunk(pending)
+                for task, result in self.backend.submit_chunks(
+                    self.config, self.plan, chunks
+                ):
+                    if self.store is not None:
+                        self.store.save(
+                            task.task_id,
+                            {
+                                "task": dataclasses.asdict(task),
+                                "result": result.to_dict(),
+                            },
+                        )
+                    results[task.task_id] = result
+        finally:
+            # Release segment handles (and let the store compact itself)
+            # whether the sweep finished or died; every record is already
+            # fsynced, so a crashed run's store resumes cleanly regardless.
+            if self.store is not None:
+                self.store.close()
         self.trace_stats = dict(self.backend.stats)
 
         return [

@@ -1,0 +1,48 @@
+"""Durable, sharded, checksummed on-disk store of per-task sweep results.
+
+The public face is :class:`ResultStore` — the same save/load/completed_ids
+API the runner has always used, now backed by hash-partitioned append-only
+segments of CRC32C-checksummed records instead of one JSON file per task
+(:mod:`repro.engine.store.sharded` for the layout and recovery story,
+:mod:`repro.engine.store.format` for the record framing).  Scrub and
+repair tooling (``repro store verify|repair|compact|migrate``) lives on
+the store itself plus :func:`migrate_store` for converting legacy v1
+stores in place.
+"""
+
+from .format import (
+    COMMIT_MARKER,
+    MAGIC,
+    RECORD_OVERHEAD,
+    canonical_body,
+    crc32c,
+    encode_record,
+)
+from .migrate import MigrateReport, migrate_store
+from .sharded import (
+    DEFAULT_SHARDS,
+    STORE_VERSION,
+    CompactReport,
+    Problem,
+    RepairReport,
+    ResultStore,
+    VerifyReport,
+)
+
+__all__ = [
+    "ResultStore",
+    "STORE_VERSION",
+    "DEFAULT_SHARDS",
+    "Problem",
+    "VerifyReport",
+    "RepairReport",
+    "CompactReport",
+    "MigrateReport",
+    "migrate_store",
+    "MAGIC",
+    "COMMIT_MARKER",
+    "RECORD_OVERHEAD",
+    "crc32c",
+    "canonical_body",
+    "encode_record",
+]

@@ -1,0 +1,144 @@
+"""In-place migration of a legacy (v1) JSON result store to the sharded format.
+
+A v1 store is ``manifest.json`` plus one ``results/<task_id>.json`` file per
+finished task.  Migration re-frames each task as a checksummed segment
+record in the sharded layout, stamps the manifest to ``store_version`` 2,
+and parks the old files at ``<root>/legacy-results.bak/`` — nothing is
+deleted, so a bad migration is recoverable by hand.  Legacy files that no
+longer parse are quarantined (raw bytes + JSON sidecar) rather than
+migrated, and the report names each one so the affected tasks can be
+re-simulated with ``--resume``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Tuple
+
+from ...common.errors import EngineError
+from .sharded import (
+    DEFAULT_SHARDS,
+    STORE_VERSION,
+    ResultStore,
+    _atomic_write_json,
+    _fsync_dir,
+)
+
+__all__ = ["MigrateReport", "migrate_store"]
+
+
+@dataclass
+class MigrateReport:
+    """What a legacy-store migration moved, skipped, and preserved."""
+
+    root: Path
+    migrated: int = 0
+    quarantined: List[Tuple[Path, str]] = field(default_factory=list)
+    backup_dir: Path | None = None
+
+    def summary(self) -> str:
+        lines = [
+            f"store {self.root}: migrated {self.migrated} task result(s) to "
+            f"the sharded v{STORE_VERSION} layout"
+        ]
+        for path, reason in self.quarantined:
+            lines.append(
+                f"quarantined legacy file {path.name}: {reason}; the task "
+                "will be re-simulated on the next --resume"
+            )
+        if self.backup_dir is not None:
+            lines.append(
+                f"legacy files preserved at {self.backup_dir} — delete that "
+                "directory once the migrated store checks out "
+                "(`repro store verify`)"
+            )
+        return "\n".join(lines)
+
+
+def migrate_store(root: str | os.PathLike, shards: int | None = None) -> MigrateReport:
+    """Convert the v1 store at *root* to the sharded layout, in place.
+
+    Raises :class:`EngineError` when *root* is not a legacy store (missing,
+    already sharded, or with an unreadable manifest).  The conversion is
+    ordered so a crash at any point leaves a recoverable directory: records
+    and the new manifest are durable before any legacy file moves, and the
+    legacy ``results/`` tree is renamed aside, never deleted.
+    """
+    root = Path(root)
+    manifest_path = root / "manifest.json"
+    results_dir = root / "results"
+    if not manifest_path.exists() and not results_dir.is_dir():
+        raise EngineError(
+            f"no result store at {root} (neither manifest.json nor results/ "
+            "exists); nothing to migrate"
+        )
+    manifest: dict = {}
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            raise EngineError(
+                f"unreadable store manifest {manifest_path}: {exc}; cannot "
+                "migrate a store whose manifest is damaged — restore it or "
+                "re-run the sweep into a fresh --store"
+            ) from None
+        if manifest.get("store_version", 1) >= STORE_VERSION:
+            raise EngineError(
+                f"store {root} is already store_version "
+                f"{manifest.get('store_version')} (sharded); nothing to migrate"
+            )
+
+    report = MigrateReport(root=root)
+
+    # Write the new manifest first: ResultStore refuses to touch a v1
+    # store, and the sharded records must be written *through* the store so
+    # they get its fsync discipline (the store also picks the scenario hash
+    # for each record up from this manifest).
+    stamped = {
+        **manifest,
+        "store_version": STORE_VERSION,
+        "store": {"shards": shards or DEFAULT_SHARDS},
+    }
+    _atomic_write_json(manifest_path, stamped)
+
+    store = ResultStore(root)
+    try:
+        legacy_files = sorted(results_dir.glob("*.json")) if results_dir.is_dir() else []
+        for path in legacy_files:
+            try:
+                payload = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError) as exc:
+                _quarantine_legacy(root, path, str(exc))
+                report.quarantined.append((path, str(exc)))
+                continue
+            store.save(path.stem, payload)
+            report.migrated += 1
+    finally:
+        store.close()
+
+    if results_dir.is_dir():
+        backup = root / "legacy-results.bak"
+        os.replace(results_dir, backup)
+        _fsync_dir(root)
+        report.backup_dir = backup
+    return report
+
+
+def _quarantine_legacy(root: Path, path: Path, reason: str) -> None:
+    quarantine = root / "quarantine"
+    quarantine.mkdir(parents=True, exist_ok=True)
+    raw = quarantine / f"legacy-{path.stem}.bin"
+    raw.write_bytes(path.read_bytes())
+    _atomic_write_json(
+        quarantine / f"legacy-{path.stem}.json",
+        {
+            "legacy_file": str(path.relative_to(root)),
+            "task_id": path.stem,
+            "kind": "corrupt",
+            "reason": f"legacy result file does not parse: {reason}",
+        },
+    )
+    _fsync_dir(quarantine)

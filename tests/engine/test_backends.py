@@ -163,8 +163,11 @@ class TestConformance:
         config, plan = tiny_config(seed=7), small_plan()
         first = ParallelRunner(config, plan, jobs=0, store=store)
         first.run(MIXES)
+        # The runner closed the store after run(); discard() reopens it,
+        # tombstones the two tasks, and close() makes that durable.
         for task_id in ("c5_0__l2s", "c5_1__cc__p100"):
-            (first.store.results_dir / f"{task_id}.json").unlink()
+            first.store.discard(task_id)
+        first.store.close()
 
         runner, teardown = _run(kind, store=store, resume=True)
         combos = runner.run(MIXES)
@@ -201,6 +204,80 @@ class TestConformance:
             combos_warm = warm.run(MIXES)
         assert [fingerprint(c) for c in combos] == serial_fingerprints
         assert [fingerprint(c) for c in combos_warm] == serial_fingerprints
+
+
+class TestSocketEncryption:
+    def test_encrypted_sweep_bit_identical(self, serial_fingerprints):
+        """With a real shared secret both ends negotiate a payload cipher
+        and the merge stays bit-identical — encryption is invisible to the
+        determinism contract."""
+        backend = SocketBackend(
+            heartbeat_timeout=15.0, worker_wait=30.0, secret="e2e-test-secret"
+        )
+        host, port = backend.bind()
+        threads = [
+            threading.Thread(
+                target=run_worker,
+                args=(host, port),
+                kwargs={"secret": "e2e-test-secret"},
+                daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        config, plan = tiny_config(seed=7), small_plan()
+        runner = ParallelRunner(config, plan, jobs=2, backend=backend)
+        combos = runner.run(MIXES)
+        for t in threads:
+            t.join(timeout=15)
+        assert not any(t.is_alive() for t in threads)
+        assert [fingerprint(c) for c in combos] == serial_fingerprints
+        # The channel really negotiated a cipher (not silently plaintext).
+        assert backend.cipher_name in ("aes-gcm", "hmac-ctr")
+
+    def test_plaintext_worker_refused_by_encrypting_coordinator(
+        self, serial_fingerprints
+    ):
+        """A worker that offers no ciphers (a hypothetical stripped build)
+        is turned away when the coordinator holds a real secret — no
+        silent downgrade to plaintext results — while a capable worker
+        still completes the sweep."""
+        secret = "e2e-test-secret"
+        backend = SocketBackend(
+            heartbeat_timeout=10.0, worker_wait=30.0, secret=secret
+        )
+        host, port = backend.bind()
+        rejection: list = []
+
+        def plaintext_peer():
+            sock = socketlib.create_connection((host, port), timeout=10)
+            try:
+                send_hello(sock, "plain", secret, ciphers=[])
+                try:
+                    recv_msg(sock, secret)
+                    rejection.append("plaintext peer was not rejected")
+                except AuthError as exc:
+                    rejection.append(str(exc))
+            finally:
+                sock.close()
+
+        peer = threading.Thread(target=plaintext_peer, daemon=True)
+        peer.start()
+        good = threading.Thread(
+            target=run_worker, args=(host, port),
+            kwargs={"secret": secret}, daemon=True,
+        )
+        good.start()
+
+        config, plan = tiny_config(seed=7), small_plan()
+        runner = ParallelRunner(config, plan, jobs=2, backend=backend)
+        combos = runner.run(MIXES)
+        peer.join(timeout=15)
+        good.join(timeout=15)
+        assert [fingerprint(c) for c in combos] == serial_fingerprints
+        assert rejection and "encrypted result payloads" in rejection[0]
+        assert backend.workers_seen == 1  # the plaintext peer never counted
 
 
 class TestSocketFaults:

@@ -85,11 +85,12 @@ class TestResume:
         first = ParallelRunner(config, plan, jobs=0, store=store)
         [combo_full] = first.run([MIX])
 
-        # Drop two task results; resume must recompute exactly those.
+        # Tombstone two task results; resume must recompute exactly those.
         removed = 0
         for task_id in ("c4_0__l2s", "c4_0__cc__p050"):
-            (first.store.results_dir / f"{task_id}.json").unlink()
+            first.store.discard(task_id)
             removed += 1
+        first.store.close()
         resumed = ParallelRunner(config, plan, jobs=0, store=store, resume=True)
         [combo_resumed] = resumed.run([MIX])
         assert resumed.tasks_run == removed
@@ -101,12 +102,15 @@ class TestResume:
         config, plan = tiny_config(seed=7), small_plan()
         first = ParallelRunner(config, plan, jobs=0, store=store)
         first.run([MIX])
-        mtimes = {
-            p.name: p.stat().st_mtime_ns for p in first.store.results_dir.iterdir()
-        }
+
+        def segment_state():
+            return {
+                str(p.relative_to(tmp_path)): p.read_bytes()
+                for p in sorted((tmp_path / "store").glob("shards/*/seg-*.seg"))
+            }
+
+        before = segment_state()
         resumed = ParallelRunner(config, plan, jobs=0, store=store, resume=True)
         resumed.run([MIX])
-        after = {
-            p.name: p.stat().st_mtime_ns for p in resumed.store.results_dir.iterdir()
-        }
-        assert after == mtimes
+        # A full resume appends nothing: every segment is byte-identical.
+        assert segment_state() == before

@@ -86,12 +86,17 @@ class TestScenarioConformance:
         assert main(["--scale", "tiny", "--seed", "7", "sweep",
                      "--classes", "C5", "--combos-per-class", "1",
                      "--jobs", "0", "--store", str(b)]) == 0
-        files_a = sorted(p.name for p in (a / "results").glob("*.json"))
-        files_b = sorted(p.name for p in (b / "results").glob("*.json"))
-        assert files_a == files_b and files_a
-        for name in files_a:
-            assert ((a / "results" / name).read_bytes()
-                    == (b / "results" / name).read_bytes())
+        from repro.engine.store import ResultStore
+
+        with ResultStore(a) as store_a, ResultStore(b) as store_b:
+            ids = store_a.completed_ids()
+            assert ids == store_b.completed_ids() and ids
+            for task_id in sorted(ids):
+                # Canonical record bodies, compared byte for byte — the
+                # store-level face of the bit-identical-merge contract.
+                assert store_a.payload_bytes(task_id) == store_b.payload_bytes(
+                    task_id
+                )
         # Same contract, same hash: the manifests agree on the scenario
         # identity even though one run was flag-driven.
         hash_a = json.loads((a / "manifest.json").read_text())["scenario"]["hash"]

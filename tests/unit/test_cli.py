@@ -79,6 +79,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["worker", "--connect", "not-an-address"])
 
+    def test_worker_spool_gc_flags(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "h:1", "--spool", "d",
+             "--spool-gc", "--spool-gc-age", "3600"]
+        )
+        assert args.spool_gc and args.spool_gc_age == 3600.0
+        with pytest.raises(SystemExit):  # GC without a spool to collect
+            main(["worker", "--connect", "127.0.0.1:1", "--spool-gc"])
+        with pytest.raises(SystemExit):
+            main(["worker", "--connect", "127.0.0.1:1", "--spool", "d",
+                  "--spool-gc", "--spool-gc-age", "-1"])
+
+    def test_store_subcommands_parse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])  # subcommand required
+        for sub in ("verify", "repair", "compact", "migrate"):
+            args = build_parser().parse_args(["store", sub, "some/dir"])
+            assert args.command == "store"
+            assert args.store_command == sub
+            assert args.dir == "some/dir"
+
+    def test_store_migrate_shards_validated(self):
+        args = build_parser().parse_args(
+            ["store", "migrate", "d", "--shards", "4"]
+        )
+        assert args.shards == 4
+        with pytest.raises(SystemExit):
+            main(["store", "migrate", "d", "--shards", "0"])
+
 
 class TestScenarioParser:
     def test_scenario_requires_subcommand(self):
@@ -207,6 +236,66 @@ class TestScenarioCommands:
         flags = scenario_from_flags(scale="tiny", seed=7, mix="c5_0",
                                     schemes=("l2p", "snug"))
         assert dumped.content_hash() == flags.content_hash()
+
+
+class TestStoreCommands:
+    """`repro store verify|repair|compact|migrate` over real stores."""
+
+    def _store(self, root):
+        from repro.engine.store import ResultStore
+
+        with ResultStore(root) as store:
+            store.initialize({"k": 1})
+            store.save("c1_0__l2p", {"result": {"ipc": [0.5]}})
+            store.save("c1_0__snug", {"result": {"ipc": [0.7]}})
+        return root
+
+    def test_verify_clean_store(self, tmp_path, capsys):
+        root = self._store(tmp_path / "s")
+        assert main(["store", "verify", str(root)]) == 0
+        assert "verify OK" in capsys.readouterr().out
+
+    def test_verify_then_repair_bit_flip(self, tmp_path, capsys):
+        root = self._store(tmp_path / "s")
+        [segment] = [
+            p for p in sorted(root.glob("shards/*/seg-*.seg"))
+            if b"c1_0__snug" in p.read_bytes()
+        ]
+        data = bytearray(segment.read_bytes())
+        data[data.find(b'"ipc"') + 2] ^= 0x01
+        segment.write_bytes(bytes(data))
+
+        assert main(["store", "verify", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "verify FAILED" in out and "repro store repair" in out
+        assert main(["store", "repair", str(root)]) == 0
+        assert "quarantined" in capsys.readouterr().out
+        assert main(["store", "verify", str(root)]) == 0
+        assert "verify OK" in capsys.readouterr().out
+
+    def test_compact_reports_reclaim(self, tmp_path, capsys):
+        from repro.engine.store import ResultStore
+
+        root = self._store(tmp_path / "s")
+        with ResultStore(root) as store:
+            store.save("c1_0__l2p", {"result": {"ipc": [0.6]}})  # supersede
+        assert main(["store", "compact", str(root)]) == 0
+        assert "reclaimed" in capsys.readouterr().out
+
+    def test_migrate_legacy_store(self, tmp_path, capsys):
+        import json as jsonlib
+
+        root = tmp_path / "legacy"
+        (root / "results").mkdir(parents=True)
+        (root / "manifest.json").write_text(jsonlib.dumps({"k": 1}))
+        (root / "results" / "t1.json").write_text(jsonlib.dumps({"v": 1}))
+        assert main(["store", "migrate", str(root)]) == 0
+        assert "migrated 1 task result(s)" in capsys.readouterr().out
+        assert main(["store", "verify", str(root)]) == 0
+
+    def test_missing_store_is_clean_error(self, tmp_path, capsys):
+        assert main(["store", "verify", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestCommands:

@@ -1,0 +1,146 @@
+"""Units for the payload-encryption primitives behind protocol v2.
+
+Pins the HKDF-SHA256 derivation against the RFC 5869 test vectors (a
+wrong-but-self-consistent KDF would interoperate with itself while leaking
+key structure), exercises both AEAD constructions — ``aes-gcm`` when the
+optional ``cryptography`` package is present and the stdlib-only
+``hmac-ctr`` everywhere — and covers the negotiation rules the socket
+handshake builds on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.engine.backends.crypto import (
+    CIPHER_PREFERENCE,
+    HmacCtrCipher,
+    hkdf_sha256,
+    make_cipher,
+    negotiate_cipher,
+    supported_ciphers,
+)
+
+try:
+    from cryptography.hazmat.primitives.ciphers.aead import AESGCM  # noqa: F401
+
+    _HAVE_AESGCM = True
+except Exception:  # pragma: no cover - depends on environment
+    _HAVE_AESGCM = False
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        """RFC 5869 A.1: basic SHA-256 test case."""
+        okm = hkdf_sha256(
+            bytes.fromhex("0b" * 22),
+            salt=bytes.fromhex("000102030405060708090a0b0c"),
+            info=bytes.fromhex("f0f1f2f3f4f5f6f7f8f9"),
+            length=42,
+        )
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case_3_empty_salt_and_info(self):
+        """RFC 5869 A.3: zero-length salt and info."""
+        okm = hkdf_sha256(bytes.fromhex("0b" * 22), salt=b"", info=b"", length=42)
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_distinct_info_yields_independent_keys(self):
+        base = dict(salt=b"\x01" * 32, length=32)
+        a = hkdf_sha256(b"secret", info=b"repro-engine-v2 payload aes-gcm", **base)
+        b = hkdf_sha256(b"secret", info=b"repro-engine-v2 payload hmac-ctr", **base)
+        assert a != b
+
+    def test_length_bounds(self):
+        with pytest.raises(ValueError):
+            hkdf_sha256(b"k", salt=b"", info=b"", length=0)
+        with pytest.raises(ValueError):
+            hkdf_sha256(b"k", salt=b"", info=b"", length=255 * 32 + 1)
+
+
+class _CipherContract:
+    """Shared seal/open contract every payload cipher must satisfy."""
+
+    def cipher(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def test_round_trip(self):
+        c = self.cipher()
+        for body in (b"", b"x", b"\x80\x05 pickled payload " * 100):
+            assert c.open(c.seal(body)) == body
+
+    def test_nonces_never_repeat_across_seals(self):
+        c = self.cipher()
+        blobs = {c.seal(b"same plaintext") for _ in range(64)}
+        assert len(blobs) == 64
+
+    def test_tamper_rejected(self):
+        c = self.cipher()
+        blob = bytearray(c.seal(b"payload"))
+        for index in (0, len(blob) // 2, len(blob) - 1):
+            flipped = bytearray(blob)
+            flipped[index] ^= 0x01
+            with pytest.raises(ProtocolError, match="authentication"):
+                c.open(bytes(flipped))
+
+    def test_truncated_blob_rejected(self):
+        c = self.cipher()
+        blob = c.seal(b"payload")
+        for cut in (0, 1, len(blob) - 1):
+            with pytest.raises(ProtocolError):
+                c.open(blob[:cut])
+
+    def test_wrong_key_rejected(self):
+        sealed = self.cipher().seal(b"payload")
+        other = self.cipher(secret=b"another secret entirely")
+        with pytest.raises(ProtocolError, match="authentication"):
+            other.open(sealed)
+
+
+class TestHmacCtrCipher(_CipherContract):
+    def cipher(self, secret: bytes = b"shared secret"):
+        return make_cipher("hmac-ctr", secret, salt=b"\x02" * 32)
+
+    def test_is_not_ecb_like(self):
+        """Identical plaintext blocks must not produce identical ciphertext
+        blocks — the CTR keystream must differ per block."""
+        c = self.cipher()
+        blob = c.seal(b"A" * 64)
+        body = blob[HmacCtrCipher._NONCE : -HmacCtrCipher._TAG]
+        assert body[:32] != body[32:64]
+
+
+@pytest.mark.skipif(not _HAVE_AESGCM, reason="cryptography package not installed")
+class TestAesGcmCipher(_CipherContract):
+    def cipher(self, secret: bytes = b"shared secret"):
+        return make_cipher("aes-gcm", secret, salt=b"\x02" * 32)
+
+
+class TestNegotiation:
+    def test_supported_always_includes_stdlib_fallback(self):
+        names = supported_ciphers()
+        assert "hmac-ctr" in names
+        assert list(names) == [n for n in CIPHER_PREFERENCE if n in names]
+
+    def test_preference_order_wins(self):
+        # Offer in reverse preference order; negotiation must still pick
+        # the coordinator's preferred cipher, not the worker's ordering.
+        offered = list(reversed(supported_ciphers()))
+        assert negotiate_cipher(offered) == supported_ciphers()[0]
+
+    def test_no_overlap_is_none(self):
+        assert negotiate_cipher(["rot13", "xor-of-doom"]) is None
+        assert negotiate_cipher([]) is None
+
+    def test_unknown_cipher_name_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown payload cipher"):
+            make_cipher("rot13", b"secret", salt=b"\x00" * 32)

@@ -19,6 +19,7 @@ import time
 import pytest
 
 from repro.common.errors import AuthError, EngineError, ProtocolError
+from repro.engine.backends.crypto import make_cipher, supported_ciphers
 from repro.engine.backends.faults import FaultInjector, FaultSpec, InjectedDeath
 from repro.engine.backends.socket import (
     _MAX_FRAME,
@@ -135,16 +136,92 @@ class TestFraming:
             recv_msg(b, OTHER)
 
 
+class TestEncryptedChannel:
+    @pytest.fixture(params=supported_ciphers())
+    def cipher_pair(self, request):
+        """Sender and receiver ciphers keyed identically, per cipher name."""
+        salt = b"\x01" * 32
+        return (
+            make_cipher(request.param, KEY, salt=salt),
+            make_cipher(request.param, KEY, salt=salt),
+        )
+
+    def test_encrypted_round_trip(self, pair, cipher_pair):
+        a, b = pair
+        tx, rx = cipher_pair
+        message = {"type": "result", "chunk_id": "c1", "results": [1.5, 2.5]}
+        send_msg(a, message, KEY, cipher=tx)
+        assert recv_msg(b, KEY, cipher=rx) == message
+
+    def test_payload_is_actually_ciphertext(self, pair, cipher_pair):
+        """The pickled plaintext must not be visible in the frame bytes."""
+        a, b = pair
+        tx, _rx = cipher_pair
+        marker = "very-recognizable-result-payload"
+        send_msg(a, {"type": "result", "secret": marker}, KEY, cipher=tx)
+        frame = b.recv(1 << 16)
+        assert marker.encode() not in frame
+        assert pickle.dumps({"type": "result", "secret": marker}) not in frame
+
+    def test_plaintext_on_encrypted_channel_rejected(self, pair, cipher_pair):
+        """A peer cannot downgrade the channel after the handshake."""
+        a, b = pair
+        _tx, rx = cipher_pair
+        send_msg(a, {"type": "result"}, KEY)  # no cipher: plaintext pickle
+        with pytest.raises(ProtocolError, match="downgrade refused"):
+            recv_msg(b, KEY, cipher=rx)
+
+    def test_encrypted_payload_without_cipher_rejected(self, pair, cipher_pair):
+        a, b = pair
+        tx, _rx = cipher_pair
+        send_msg(a, {"type": "result"}, KEY, cipher=tx)
+        with pytest.raises(ProtocolError, match="negotiated no cipher"):
+            recv_msg(b, KEY)
+
+    def test_tampered_ciphertext_rejected_before_unpickling(self, pair, cipher_pair):
+        """Sealed bytes MAC'd with the *right* frame key but flipped after
+        sealing must fail AEAD authentication, never reach the unpickler."""
+        a, b = pair
+        tx, rx = cipher_pair
+        _Boom.loaded = False
+        sealed = bytearray(b"E" + tx.seal(pickle.dumps({"bomb": _Boom()})))
+        sealed[-1] ^= 0x01
+        a.sendall(_build_frame(bytes(sealed), KEY))
+        with pytest.raises(ProtocolError, match="authentication"):
+            recv_msg(b, KEY, cipher=rx)
+        assert _Boom.loaded is False
+
+    def test_differently_keyed_cipher_rejected(self, pair):
+        a, b = pair
+        for name in supported_ciphers():
+            tx = make_cipher(name, KEY, salt=b"\x01" * 32)
+            rx = make_cipher(name, OTHER, salt=b"\x01" * 32)
+            send_msg(a, {"type": "ready"}, KEY, cipher=tx)
+            with pytest.raises(ProtocolError, match="authentication"):
+                recv_msg(b, KEY, cipher=rx)
+
+    def test_error_frame_still_readable_on_encrypted_channel(self, pair, cipher_pair):
+        """Rejections are plaintext JSON by design (the peer may lack the
+        channel keys); they must surface even when a cipher is active."""
+        a, b = pair
+        _tx, rx = cipher_pair
+        _send_error(a, KEY, "coordinator says no")
+        with pytest.raises(AuthError, match="coordinator says no"):
+            recv_msg(b, KEY, cipher=rx)
+
+
 class TestHello:
     def test_round_trip(self, pair):
         a, b = pair
         send_hello(a, "w1", KEY)
         hello = recv_hello(b, KEY)
-        assert hello == {
-            "type": "hello",
-            "version": PROTOCOL_VERSION,
-            "worker": "w1",
-        }
+        assert hello["type"] == "hello"
+        assert hello["version"] == PROTOCOL_VERSION
+        assert hello["worker"] == "w1"
+        # The v2 encryption extension rides along in the same handshake:
+        # offered payload ciphers plus the worker's half of the HKDF salt.
+        assert hello["ciphers"] == supported_ciphers()
+        assert len(bytes.fromhex(hello["nonce"])) == 16
 
     def test_garbage_handshake_rejected_without_allocation(self, pair):
         a, b = pair
@@ -288,3 +365,44 @@ class TestResultSpool:
         torn.write_bytes(b"\x80\x05 torn mid-write")
         assert spool.entries("sweepA") == [("c1", payload)]
         assert not torn.exists()  # corrupt garbage is not kept around
+
+    def test_gc_removes_only_old_unkept_sweeps(self, tmp_path):
+        import os
+
+        spool = ResultSpool(tmp_path / "spool")
+        payload = {"chunk_id": "c1", "task_ids": ["a"], "results": [1], "stats": {}}
+        spool.put("old-sweep", "c1", payload)
+        spool.put("kept-sweep", "c1", payload)
+        spool.put("fresh-sweep", "c1", payload)
+        stale = time.time() - 10_000
+        for sweep in ("old-sweep", "kept-sweep"):
+            sweep_dir = tmp_path / "spool" / sweep
+            for path in [sweep_dir, *sweep_dir.iterdir()]:
+                os.utime(path, (stale, stale))
+        removed = spool.gc(3600, keep={"kept-sweep"})
+        assert removed == ["old-sweep"]
+        assert not (tmp_path / "spool" / "old-sweep").exists()
+        # The keep set shields the active sweep no matter how old it looks;
+        # recent directories survive on age alone.
+        assert spool.entries("kept-sweep") == [("c1", payload)]
+        assert spool.entries("fresh-sweep") == [("c1", payload)]
+
+    def test_gc_spares_sweep_with_one_fresh_entry(self, tmp_path):
+        """A sweep dir is only dead when *every* file in it is old — one
+        freshly spooled chunk keeps the whole sweep."""
+        import os
+
+        spool = ResultSpool(tmp_path / "spool")
+        payload = {"chunk_id": "c1", "task_ids": ["a"], "results": [1], "stats": {}}
+        spool.put("sweepA", "c1", payload)
+        spool.put("sweepA", "c2", dict(payload, chunk_id="c2"))
+        stale = time.time() - 10_000
+        sweep_dir = tmp_path / "spool" / "sweepA"
+        os.utime(sweep_dir, (stale, stale))
+        os.utime(sweep_dir / "c1.pkl", (stale, stale))  # c2.pkl stays fresh
+        assert spool.gc(3600) == []
+        assert len(spool.entries("sweepA")) == 2
+
+    def test_gc_on_missing_root_is_noop(self, tmp_path):
+        spool = ResultSpool(tmp_path / "never-created")
+        assert spool.gc(0) == []
