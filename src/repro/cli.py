@@ -58,7 +58,10 @@ processes), ``--store DIR`` (persist per-task results in a durable
 sharded store of checksummed records; the manifest is stamped with the
 scenario's content hash) and ``--resume`` (skip tasks already completed
 in the store — refused when the store was produced by a different
-scenario).  ``run`` and ``sweep`` also take
+scenario).  The same three commands take ``--sim-core
+{auto,fast,batch,reference}`` (select the stepping loop; every core is
+bit-identical, see ``docs/architecture.md``) and ``--profile PATH``
+(cProfile the execution phase).  ``run`` and ``sweep`` also take
 ``--snug-monitor`` (SNUG classifies sets from an online streaming demand
 monitor; a plan property, so it behaves identically under every backend) —
 see :mod:`repro.engine`.  Every backend produces bit-identical results to
@@ -93,7 +96,7 @@ from .experiments.characterization import (
     survey_26,
 )
 from .experiments.performance import FigureData, render_figure
-from .experiments.runner import ComboResult
+from .experiments.runner import SIM_CORES, ComboResult
 from .scenario import (
     EngineOptions,
     Scenario,
@@ -166,6 +169,19 @@ def build_parser() -> argparse.ArgumentParser:
              "keeps it off argv — default $REPRO_ENGINE_SECRET, else "
              "unauthenticated, unencrypted integrity-only MACs with a loud "
              "warning)",
+    )
+    engine_flags.add_argument(
+        "--sim-core", choices=SIM_CORES, default=None,
+        help="stepping loop: fast (scalar event loop), batch (vectorized "
+             "quiescent-run stepping; wins on hit-dominated workloads), "
+             "reference (the seed loop), or auto (pick per workload — "
+             "currently fast); all cores produce bit-identical results, so "
+             "this never changes what a run computes",
+    )
+    engine_flags.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="cProfile the execution phase and dump the stats to PATH "
+             "(inspect with `python -m pstats PATH`)",
     )
 
     # run/sweep only: the scenario file carries its own snug_monitor flag.
@@ -464,6 +480,8 @@ def _engine_options(args: argparse.Namespace, store: str | None = None) -> Engin
         bind=bind,
         trace_cache=args.trace_cache,
         secret=_read_secret_file(args.secret_file),
+        sim_core=args.sim_core,
+        profile=args.profile,
     )
 
 

@@ -1,0 +1,580 @@
+"""Batched simulation core: vectorized quiescent-run stepping.
+
+:class:`BatchCmpSystem` produces bit-identical results to
+:class:`~repro.core.cmp.CmpSystem` (and therefore to the reference
+implementation) while advancing whole *quiescent runs* of accesses at once
+instead of one heap event at a time.
+
+The quiescent-run invariant
+---------------------------
+Between *interaction points*, a core's accesses are locally resolvable hits
+with statically known latencies: they touch only recency state and
+commutative counters, never the bus/DRAM occupancy models, and their timing
+is a closed-form prefix sum over the trace columns.  An interaction point is
+any access that might couple cores or change global scheme state:
+
+* a miss (bus snoop, peer retrieval, DRAM fetch, write-buffer traffic),
+* a SNUG stage-boundary crossing (``bulk_horizon``) — the epoch latch must
+  fire from a scalar access at the exact reference time,
+* a warmup or measurement-target crossing (the ``warmed``/``done`` flags
+  feed the window tallies),
+* a trace wrap (the per-wrap instruction base changes), and
+* the event-budget cap.
+
+Each phase computes, per core, the index of its next interaction point
+(*bound*) and the bound's issue time; the earliest bound in global
+``(issue_time, core_id)`` order is the *barrier*.  Every access strictly
+before the barrier — exactly the set the reference heap would have popped
+before it — is consumed in bulk: recency via
+:func:`~repro.schemes.base.bulk_touch_sets`, counters in one bump, timing
+via precomputed prefix arrays.  The barrier access itself (unless it is a
+wrap) then executes through the scheme's scalar ``access()``, expression-
+for-expression identical to the fast loop, so every interaction happens at
+exactly the reference time with exactly the reference state.
+
+Closed-form timing
+------------------
+With ``lt[q] = l1_latency + hit_latency(q)`` (the hit latency is a pure
+function of the address — constant for private schemes, routing-dependent
+for L2S) and ``gc[q]`` the pre-scaled gap cycles, define inclusive prefix
+sums ``G[q] = Σ (gc + lt)`` and ``H[q] = G[q] - lt[q]``.  Within a segment
+(between scalar accesses / wraps) there is a constant ``C`` with::
+
+    issue(q)      = C + H[q]
+    completion(q) = C + G[q]
+
+``H`` and ``G`` are strictly increasing, so bounds become ``bisect`` calls
+on plain-int Python lists, and ``C`` is invariant across bulk commits — it
+is recomputed only when a scalar access or wrap actually changes the
+core's timing base.
+
+Ordering across cores
+---------------------
+For schemes whose bulk hits touch only core-private state
+(``bulk_ordered = False``), per-core commits commute and are applied one
+core at a time.  For L2S (``bulk_ordered = True``) all consumed accesses of
+a phase are merged in global ``(issue_time, core_id)`` order — the exact
+heap order — and committed through ``bulk_commit_interleaved`` so shared-
+bank recency interleaves exactly as the scalar loop would have.
+
+``check_invariants=True`` additionally asserts, around every bulk commit,
+that the bus/DRAM/write-buffer occupancy horizons are untouched — the
+machine-checkable form of "quiescent".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..common.config import SystemConfig
+from ..common.errors import SimulationError
+from ..schemes.base import L2Scheme, Outcome
+from ..workloads.trace import Trace
+from .cmp import CmpSystem, SimResult, budget_exhausted_error
+
+__all__ = ["BatchCmpSystem"]
+
+# Bound kinds: the next interaction point of a core is either a scalar
+# access (miss / crossing / horizon), a trace wrap, or not yet known (the
+# locality scan hasn't reached an interaction point — extended on demand).
+_SCALAR = 0
+_WRAP = 1
+_UNKNOWN = 2
+
+#: Locality-scan tuning: probe the first few positions scalarly (cheaper
+#: than a NumPy round-trip for short runs), then switch to vectorized mask
+#: chunks that grow geometrically with the verified run length.
+_SCALAR_PROBES = 16
+_MIN_CHUNK = 64
+_MAX_CHUNK = 8192
+
+
+class _CoreRun:
+    """Per-core batched-stepping state (prefix arrays, scan, caches)."""
+
+    __slots__ = (
+        "cid",
+        "core",
+        "n",
+        "addrs_np",
+        "writes_np",
+        "H",
+        "H_np",
+        "G",
+        "PI",
+        "LATP",
+        "keys",
+        "class_prefix",
+        "C",
+        "instr_base",
+        "scan_epoch",
+        "scan_until",
+        "nonlocal_at",
+        "cross_q",
+        "cross_valid",
+        "limit",
+        "hor_key",
+        "hor_q",
+        "bound_q",
+        "bound_kind",
+        "bound_issue",
+        "bound_valid",
+        "bound_horizon",
+    )
+
+    def __init__(self, cid: int, core, scheme: L2Scheme) -> None:
+        self.cid = cid
+        self.core = core
+        self.n = core._n
+        trace = core.trace
+        self.addrs_np = trace.addrs
+        self.writes_np = trace.writes
+        lat, classes, class_ids = scheme.bulk_profile(cid, trace.addrs)
+        lt = lat + core.l1_latency
+        gc = np.asarray(core._gap_cycles, dtype=np.int64)
+        G = np.cumsum(gc + lt)
+        # Plain-int Python lists: bisect/indexing on them avoids the NumPy
+        # scalar boxing that dominates small per-phase operations.
+        self.H_np = G - lt  # kept for the vectorized merge path
+        self.H = self.H_np.tolist()
+        self.G = G.tolist()
+        self.PI = np.cumsum(trace.gaps).tolist()
+        self.LATP = np.cumsum(lat).tolist()
+        self.keys = [key for key, _ in classes]
+        if class_ids is None:
+            self.class_prefix = None  # single outcome class
+        else:
+            self.class_prefix = [
+                np.cumsum(class_ids == c).tolist() for c in range(len(classes))
+            ]
+        self.C = core.time  # pos == 0 at construction
+        self.instr_base = core.instructions
+        self.scan_epoch = -1
+        self.scan_until = 0
+        self.nonlocal_at: Optional[int] = None
+        self.cross_q = 0
+        self.cross_valid = False
+        self.limit = 0
+        self.hor_key = None
+        self.hor_q = 0
+        self.bound_q = 0
+        self.bound_kind = _UNKNOWN
+        self.bound_issue = 0
+        self.bound_valid = False
+        self.bound_horizon = None
+
+    # -- segment bookkeeping ------------------------------------------------
+
+    def reseat(self) -> None:
+        """Recompute the segment constant after a scalar access or wrap."""
+        pos = self.core.pos
+        self.C = self.core.time - (self.G[pos - 1] if pos else 0)
+
+    def on_wrap(self) -> None:
+        """The trace wrapped: new instruction base, fresh scan and caches."""
+        self.instr_base = self.core.instructions
+        self.C = self.core.time
+        self.scan_until = 0
+        self.nonlocal_at = None
+        self.cross_valid = False
+        self.hor_key = None
+        self.bound_valid = False
+
+
+class BatchCmpSystem(CmpSystem):
+    """CMP system stepping quiescent runs in bulk between interaction points.
+
+    Drop-in replacement for :class:`CmpSystem`: same constructor signature
+    plus ``check_invariants`` (assert the occupancy models are untouched by
+    every bulk commit — a debugging aid, off by default).  Schemes that do
+    not implement the bulk protocol fall back to the scalar fast loop.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        scheme: L2Scheme,
+        traces: Sequence[Trace],
+        *,
+        check_invariants: bool = False,
+    ) -> None:
+        super().__init__(config, scheme, traces)
+        self.check_invariants = check_invariants
+
+    # -- helpers ------------------------------------------------------------
+
+    def _occupancy_horizons(self) -> List[int]:
+        scheme = self.scheme
+        parts = [scheme.bus.busy_horizon(), scheme.dram.busy_horizon()]
+        parts.extend(w.busy_horizon() for w in getattr(scheme, "wbufs", ()))
+        return parts
+
+    def _extend_scan(self, cs: _CoreRun, limit: int) -> None:
+        """Grow the verified-local frontier of *cs* by one step toward *limit*.
+
+        Postcondition: ``scan_until`` advanced, or ``nonlocal_at`` set (and
+        ``scan_until`` parked on it).
+        """
+        scheme = self.scheme
+        cid = cs.cid
+        u = cs.scan_until
+        pos = cs.core.pos
+        if u - pos < _SCALAR_PROBES:
+            addrs = cs.core._addrs  # plain ints
+            is_local = scheme.bulk_is_local
+            hi = min(limit, pos + _SCALAR_PROBES)
+            while u < hi:
+                if not is_local(cid, addrs[u]):
+                    cs.nonlocal_at = u
+                    cs.scan_until = u
+                    return
+                u += 1
+            cs.scan_until = u
+            return
+        width = min(_MAX_CHUNK, max(_MIN_CHUNK, 2 * (u - pos)))
+        hi = min(limit, u + width)
+        mask = scheme.bulk_local_mask(cid, cs.addrs_np[u:hi])
+        if mask.all():
+            cs.scan_until = hi
+        else:
+            u += int(mask.argmin())
+            cs.nonlocal_at = u
+            cs.scan_until = u
+
+    def _refresh_bound(self, cs: _CoreRun, horizon: Optional[int]) -> None:
+        """Recompute the core's next interaction point (index, kind, issue)."""
+        core = cs.core
+        pos = core.pos
+        n = cs.n
+        # Warmup / measurement-target crossing (trace index, pos-independent).
+        if not cs.cross_valid:
+            if core.finish_time is not None:
+                cs.cross_q = n
+            elif core.warmup_end_time is None:
+                cs.cross_q = bisect_left(
+                    cs.PI, core.warmup_instructions - cs.instr_base, pos, n
+                )
+            else:
+                cs.cross_q = bisect_left(
+                    cs.PI,
+                    core.warmup_instructions + core.target_instructions - cs.instr_base,
+                    pos,
+                    n,
+                )
+            cs.cross_valid = True
+        limit = cs.cross_q
+        # Scheme horizon (SNUG stage end): first access issuing at/after it.
+        if horizon is not None:
+            key = (horizon, cs.C)
+            if cs.hor_key != key:
+                cs.hor_q = bisect_left(cs.H, horizon - cs.C, pos, n)
+                cs.hor_key = key
+            if cs.hor_q < limit:
+                limit = cs.hor_q
+        cs.limit = limit
+        # Locality scan up to the limit (or the first non-local access);
+        # scan-epoch staleness is handled by the caller (epochs only move
+        # during scalar accesses, so the probe runs once per scalar phase).
+        if cs.nonlocal_at is not None and cs.nonlocal_at < limit:
+            bound_q, kind = cs.nonlocal_at, _SCALAR
+        elif cs.scan_until >= limit:
+            bound_q, kind = limit, (_WRAP if limit == n else _SCALAR)
+        else:
+            # Frontier not yet at an interaction point: provisional bound,
+            # extended only if it becomes the global barrier.
+            bound_q, kind = cs.scan_until, _UNKNOWN
+        cs.bound_q = bound_q
+        cs.bound_kind = kind
+        if bound_q < n:
+            cs.bound_issue = cs.C + cs.H[bound_q]
+        else:  # wrap: the next wrap-iteration's first access
+            cs.bound_issue = cs.C + cs.G[n - 1] + core._gap_cycles[0]
+        # Bulk consumption does not move any input of this computation, so
+        # the bound stays valid until a scalar access, wrap, scan extension,
+        # membership-epoch change, or horizon change touches one.
+        cs.bound_valid = True
+        cs.bound_horizon = horizon
+
+    # -- the batched run ----------------------------------------------------
+
+    def run(
+        self,
+        target_instructions: int,
+        *,
+        warmup_instructions: int = 0,
+        max_events: int | None = None,
+    ) -> SimResult:
+        scheme = self.scheme
+        if not scheme.bulk_supported:
+            return super().run(
+                target_instructions,
+                warmup_instructions=warmup_instructions,
+                max_events=max_events,
+            )
+        if target_instructions < 1:
+            raise SimulationError("target_instructions must be positive")
+        if warmup_instructions < 0:
+            raise SimulationError("warmup_instructions must be non-negative")
+        for core in self.cores:
+            core.target_instructions = target_instructions
+            core.warmup_instructions = warmup_instructions
+            if warmup_instructions == 0:
+                core.warmup_end_time = 0
+
+        outcome_counts = {o.value: 0 for o in Outcome}
+        window_outcomes = [{o.value: 0 for o in Outcome} for _ in self.cores]
+        window_latency = [0 for _ in self.cores]
+        cores = self.cores
+        remaining = len(cores)
+        budget = max_events if max_events is not None else 0
+        if budget <= 0:
+            mean_gap = max(1.0, float(min(c.trace.mean_gap for c in cores)))
+            total = target_instructions + warmup_instructions
+            budget = int(len(cores) * total / mean_gap * 50) + 10_000
+
+        states = [_CoreRun(core.core_id, core, scheme) for core in cores]
+        ordered = scheme.bulk_ordered
+        check = self.check_invariants
+        scheme_access = scheme.access
+        bulk_horizon = scheme.bulk_horizon
+        bulk_state_epoch = scheme.bulk_state_epoch
+        cross_mut = scheme.bulk_cross_core_mutation
+        has_horizon = scheme.bulk_has_horizon
+        local_hit_key = Outcome.LOCAL_HIT.value
+        horizon = None
+        finish_at = warmup_instructions + target_instructions
+        events = 0
+        # Membership epochs move only inside scalar accesses (fills,
+        # invalidations, SNUG latches) — probe them once per scalar phase,
+        # not once per core per phase.  Schemes whose accesses never touch
+        # other cores' state skip the probe entirely: the scalar block
+        # resets the barrier core's own scan when membership changed.
+        epochs_stale = cross_mut
+
+        while remaining:
+            if epochs_stale:
+                for cs in states:
+                    epoch = bulk_state_epoch(cs.cid)
+                    if cs.scan_epoch != epoch:
+                        cs.scan_epoch = epoch
+                        cs.scan_until = cs.core.pos
+                        cs.nonlocal_at = None
+                        cs.bound_valid = False
+                epochs_stale = False
+            if has_horizon:
+                horizon = bulk_horizon()
+            # 1. Bounds + barrier (earliest interaction point, heap order).
+            barrier: Optional[_CoreRun] = None
+            b_issue = b_cid = 0
+            for cs in states:
+                if not cs.bound_valid or cs.bound_horizon != horizon:
+                    self._refresh_bound(cs, horizon)
+                issue = cs.bound_issue
+                if barrier is None or issue < b_issue:
+                    barrier = cs
+                    b_issue = issue
+                    b_cid = cs.cid
+            if barrier.bound_kind == _UNKNOWN:
+                # The barrier is a scan frontier, not a real interaction
+                # point: push the frontier and re-derive.
+                self._extend_scan(barrier, barrier.limit)
+                barrier.bound_valid = False
+                continue
+
+            # 2. Bulk-consume everything strictly before the barrier.
+            allowance = budget - events
+            wrapped_any = False
+            contribs = [] if ordered else None
+            pre_horizons = self._occupancy_horizons() if check else None
+            for cs in states:
+                core = cs.core
+                pos = core.pos
+                bq = cs.bound_q
+                if pos >= bq:
+                    continue
+                C = cs.C
+                H = cs.H
+                first = C + H[pos]
+                if first > b_issue or (first == b_issue and cs.cid >= b_cid):
+                    continue
+                rel = b_issue - C
+                if cs.cid < b_cid:
+                    k_end = bisect_right(H, rel, pos, bq)
+                else:
+                    k_end = bisect_left(H, rel, pos, bq)
+                k = k_end - pos
+                if k > allowance:
+                    k = allowance  # budget cap: the raise happens next phase
+                    k_end = pos + k
+                if k <= 0:
+                    continue
+                allowance -= k
+                q1 = k_end - 1
+                if ordered:
+                    # Capture C now: a wrap later in this loop resets it
+                    # before the deferred merge runs.
+                    contribs.append((cs, pos, k_end, C))
+                else:
+                    scheme.bulk_commit(
+                        cs.cid, core._addrs[pos:k_end], core._writes[pos:k_end]
+                    )
+                events += k
+                core.accesses += k
+                core.instructions = cs.instr_base + cs.PI[q1]
+                core.time = C + cs.G[q1]
+                in_window = (
+                    core.warmup_end_time is not None and core.finish_time is None
+                )
+                lat_sum = cs.LATP[q1] - (cs.LATP[pos - 1] if pos else 0)
+                if cs.class_prefix is None:
+                    key = cs.keys[0]
+                    outcome_counts[key] += k
+                    if in_window:
+                        window_outcomes[cs.cid][key] += k
+                else:
+                    for key, prefix in zip(cs.keys, cs.class_prefix):
+                        cnt = prefix[q1] - (prefix[pos - 1] if pos else 0)
+                        if cnt:
+                            outcome_counts[key] += cnt
+                            if in_window:
+                                window_outcomes[cs.cid][key] += cnt
+                if in_window:
+                    window_latency[cs.cid] += lat_sum
+                if k_end == cs.n:
+                    core.pos = 0
+                    core.wraps += 1
+                    cs.on_wrap()
+                    wrapped_any = True
+                else:
+                    core.pos = k_end
+            if contribs:
+                if len(contribs) == 1:
+                    # One contributing core: its run is already in global
+                    # order — commit directly, no merge needed.
+                    cs, pos, k_end, C = contribs[0]
+                    core = cs.core
+                    scheme.bulk_commit(
+                        cs.cid, core._addrs[pos:k_end], core._writes[pos:k_end]
+                    )
+                elif sum(k_end - pos for _, pos, k_end, _ in contribs) <= 64:
+                    merged = []
+                    for cs, pos, k_end, C in contribs:
+                        H = cs.H
+                        addrs = cs.core._addrs
+                        writes = cs.core._writes
+                        cid = cs.cid
+                        for q in range(pos, k_end):
+                            merged.append((C + H[q], cid, addrs[q], writes[q]))
+                    merged.sort()
+                    scheme.bulk_commit_interleaved(
+                        [e[1] for e in merged],
+                        [e[2] for e in merged],
+                        [e[3] for e in merged],
+                    )
+                else:
+                    # Long runs: lexsort the concatenated columns instead of
+                    # building one tuple per access.
+                    issues = np.concatenate(
+                        [C + cs.H_np[pos:k_end] for cs, pos, k_end, C in contribs]
+                    )
+                    cids = np.concatenate(
+                        [
+                            np.full(k_end - pos, cs.cid, dtype=np.int64)
+                            for cs, pos, k_end, _ in contribs
+                        ]
+                    )
+                    addrs = np.concatenate(
+                        [cs.addrs_np[pos:k_end] for cs, pos, k_end, _ in contribs]
+                    )
+                    writes = np.concatenate(
+                        [cs.writes_np[pos:k_end] for cs, pos, k_end, _ in contribs]
+                    )
+                    order = np.lexsort((cids, issues))
+                    scheme.bulk_commit_interleaved(
+                        cids[order], addrs[order], writes[order]
+                    )
+            if check and pre_horizons is not None:
+                post = self._occupancy_horizons()
+                if post != pre_horizons:
+                    raise SimulationError(
+                        "quiescent-run invariant violated: bulk commit moved "
+                        f"an occupancy horizon {pre_horizons} -> {post}"
+                    )
+            if wrapped_any:
+                # A wrapped core's next iteration may issue before the old
+                # barrier; re-derive bounds before touching the barrier.
+                continue
+
+            # 3. The barrier access itself, through the scalar path —
+            # expression-for-expression the fast loop's body.
+            events += 1
+            if events > budget:
+                raise budget_exhausted_error(budget, cores, finish_at)
+            cs = barrier
+            core = cs.core
+            cid = cs.cid
+            was_done = core.finish_time is not None
+            warmed = core.warmup_end_time is not None
+            pos = core.pos
+            issue = core.time + core._gap_cycles[pos]
+            result = scheme_access(cid, core._addrs[pos], core._writes[pos], issue)
+            latency = result.latency
+            core.instructions += core._gaps[pos]
+            core.accesses += 1
+            sp = pos
+            pos += 1
+            if pos >= core._n:
+                pos = 0
+                core.wraps += 1
+            core.pos = pos
+            outcome_key = result.outcome._value_
+            outcome_counts[outcome_key] += 1
+            if warmed and not was_done:
+                window_outcomes[cid][outcome_key] += 1
+                window_latency[cid] += latency
+            now = issue + core.l1_latency + latency
+            core.time = now
+            if not warmed and core.instructions >= core.warmup_instructions:
+                core.warmup_end_time = now
+            if (
+                not was_done
+                and core.warmup_end_time is not None
+                and core.instructions >= finish_at
+            ):
+                core.finish_time = now
+                remaining -= 1
+            # Segment/caches bookkeeping for the consumed scalar position.
+            if pos == 0:
+                cs.on_wrap()
+            else:
+                cs.reseat()
+                cs.cross_valid = False
+                cs.bound_valid = False
+                if cs.nonlocal_at == sp:
+                    cs.nonlocal_at = None
+                if cs.scan_until < pos:
+                    cs.scan_until = pos
+            if cross_mut:
+                epochs_stale = True
+            elif outcome_key != local_hit_key:
+                # Own-slice membership changed (fill and possibly an
+                # eviction): the verified frontier may reference the victim.
+                cs.scan_until = pos
+                cs.nonlocal_at = None
+
+        final_now = max(core.time for core in self.cores)
+        scheme.finalize(final_now)
+        return SimResult(
+            scheme=scheme.name,
+            ipc=[core.ipc() for core in self.cores],
+            instructions=[core.instructions for core in self.cores],
+            cycles=[core.finish_time or core.time for core in self.cores],
+            accesses=[core.accesses for core in self.cores],
+            outcome_counts=outcome_counts,
+            stats=scheme.flat_stats(),
+            window_outcomes=window_outcomes,
+            window_latency=window_latency,
+        )

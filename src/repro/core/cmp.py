@@ -33,7 +33,25 @@ from ..schemes.base import L2Scheme, Outcome
 from ..workloads.trace import Trace
 from .cpu import TraceCore
 
-__all__ = ["CmpSystem", "SimResult"]
+__all__ = ["CmpSystem", "SimResult", "budget_exhausted_error"]
+
+
+def budget_exhausted_error(budget: int, cores, finish_at: int) -> SimulationError:
+    """The "event budget exhausted" error, with per-core progress attached.
+
+    Shared by the fast and batched cores so a stalled run is diagnosable
+    from the message alone: which cores are short of the target, by how
+    much, and how many times each has wrapped its trace.
+    """
+    progress = "; ".join(
+        f"core {core.core_id}: {core.instructions}/{finish_at} instructions, "
+        f"{core.wraps} wraps"
+        for core in cores
+    )
+    return SimulationError(
+        f"event budget exhausted ({budget}); a core appears unable to reach "
+        f"its instruction target [{progress}]"
+    )
 
 
 @dataclass
@@ -86,7 +104,13 @@ class SimResult:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        ``window_outcomes``/``window_latency`` arrived with the windowed
+        metrics (PR 4); results persisted by older stores lack the keys and
+        must still load (e.g. after ``repro store migrate``), so they
+        default to empty.
+        """
         return cls(
             scheme=data["scheme"],
             ipc=list(data["ipc"]),
@@ -95,8 +119,8 @@ class SimResult:
             accesses=list(data["accesses"]),
             outcome_counts=dict(data["outcome_counts"]),
             stats=dict(data["stats"]),
-            window_outcomes=[dict(w) for w in data["window_outcomes"]],
-            window_latency=list(data["window_latency"]),
+            window_outcomes=[dict(w) for w in data.get("window_outcomes", [])],
+            window_latency=list(data.get("window_latency", [])),
         )
 
 
@@ -183,10 +207,7 @@ class CmpSystem:
         while remaining and heap:
             events += 1
             if events > budget:
-                raise SimulationError(
-                    f"event budget exhausted ({budget}); "
-                    "a core appears unable to reach its instruction target"
-                )
+                raise budget_exhausted_error(budget, cores, finish_at)
             cid = heappop(heap)[1]
             core = cores[cid]
             was_done = core.finish_time is not None

@@ -122,6 +122,8 @@ def execute_task(
         traces,
         plan.target_instructions,
         plan.warmup_instructions,
+        sim_core=plan.sim_core,
+        max_events=plan.max_events,
         **kwargs,
     )
 

@@ -124,6 +124,11 @@ class ParallelRunner:
     def _manifest(self) -> dict:
         plan = dataclasses.asdict(self.plan)
         plan["cc_probs"] = list(plan["cc_probs"])
+        # The stepping loop never changes results (the conformance
+        # contract), so it must not fence off resume: a store written under
+        # --sim-core batch is byte-identical to — and resumable by — a
+        # reference run of the same scenario.
+        plan.pop("sim_core", None)
         manifest = {
             "config": dataclasses.asdict(self.config),
             "plan": plan,

@@ -26,7 +26,9 @@ from ..workloads.trace import Trace
 
 __all__ = [
     "RunPlan",
+    "SIM_CORES",
     "ComboResult",
+    "make_system",
     "run_traces",
     "run_cc_best",
     "run_combo",
@@ -48,6 +50,14 @@ CC_PROBS_FULL: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
 CC_PROBS_FAST: tuple[float, ...] = (0.0, 0.5, 1.0)
 
 
+#: The selectable simulation cores (see :mod:`repro.core`): ``auto`` picks
+#: the best core for the workload (currently the fast scalar loop — the
+#: batched core wins only on hit-dominated streams and is opt-in), ``fast``
+#: and ``batch`` name the two production loops, ``reference`` the seed loop
+#: every other core is held bit-identical to.
+SIM_CORES: tuple[str, ...] = ("auto", "fast", "batch", "reference")
+
+
 @dataclass(frozen=True)
 class RunPlan:
     """Sizing of one simulation run.
@@ -58,6 +68,18 @@ class RunPlan:
     observed reference stream instead of the hardware counters.  The flag
     lives on the plan (not the CLI or backend) so it ships to every
     execution backend's workers with the rest of the run sizing.
+
+    ``sim_core`` selects the stepping loop (one of :data:`SIM_CORES`).  All
+    cores are bit-identical at the :class:`~repro.core.cmp.SimResult` level
+    (the conformance contract), so the choice never changes results — it
+    lives on the plan only so it ships to every backend's workers, and is
+    excluded from the scenario content hash and the store manifest.
+
+    ``max_events`` caps the total processed accesses before the run aborts
+    with a budget-exhausted :class:`~repro.common.errors.SimulationError`
+    (``None`` keeps the generous built-in default).  Unlike ``sim_core``
+    this is part of the experiment contract: a tighter valve can abort runs
+    the default would finish.
     """
 
     n_accesses: int = 40_000
@@ -66,12 +88,21 @@ class RunPlan:
     seed: int = 0
     cc_probs: Sequence[float] = CC_PROBS_FAST
     snug_monitor: bool = False
+    sim_core: str = "auto"
+    max_events: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_accesses < 1 or self.target_instructions < 1:
             raise ValueError("run plan sizes must be positive")
         if self.warmup_instructions < 0:
             raise ValueError("warmup must be non-negative")
+        if self.sim_core not in SIM_CORES:
+            raise ValueError(
+                f"sim_core must be one of {', '.join(SIM_CORES)}; "
+                f"got {self.sim_core!r}"
+            )
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError("max_events must be positive (or None for the default)")
 
 
 @dataclass
@@ -95,6 +126,30 @@ class ComboResult:
             }
 
 
+def make_system(sim_core: str, config: SystemConfig, scheme, traces) -> CmpSystem:
+    """Instantiate the requested stepping loop over *scheme* and *traces*.
+
+    ``auto`` resolves to the fast scalar loop: the batched core only beats
+    it on hit-dominated (quiescent) streams, where the paper's contention
+    mixes spend 25-60% of accesses on the shared scalar miss path.  The
+    batched and reference cores stay one explicit flag away, imported
+    lazily so the default path never pays for them.
+    """
+    if sim_core in ("auto", "fast"):
+        return CmpSystem(config, scheme, traces)
+    if sim_core == "batch":
+        from ..core.batch import BatchCmpSystem
+
+        return BatchCmpSystem(config, scheme, traces)
+    if sim_core == "reference":
+        from ..core.reference import ReferenceCmpSystem
+
+        return ReferenceCmpSystem(config, scheme, traces)  # type: ignore[return-value]
+    raise ConfigError(
+        f"unknown sim_core {sim_core!r}; known: auto, fast, batch, reference"
+    )
+
+
 def run_traces(
     scheme_name: str,
     config: SystemConfig,
@@ -103,6 +158,8 @@ def run_traces(
     warmup_instructions: int = 0,
     *,
     snug_monitor: bool = False,
+    sim_core: str = "auto",
+    max_events: int | None = None,
     **scheme_kwargs,
 ) -> SimResult:
     """Run one scheme over prepared traces (optionally with cache warmup).
@@ -111,6 +168,10 @@ def run_traces(
     :class:`~repro.schemes.snug.OnlineDemandMonitor` shaped for *config* —
     only meaningful for schemes exposing ``attach_monitor`` (the SNUG
     family); requesting it for any other scheme is a configuration error.
+
+    ``sim_core`` picks the stepping loop (:func:`make_system`) and
+    ``max_events`` overrides the event-budget safety valve — both normally
+    arrive via the :class:`RunPlan` fields of the same names.
     """
     scheme = make_scheme(scheme_name, config, **scheme_kwargs)
     if snug_monitor:
@@ -121,8 +182,12 @@ def run_traces(
         from ..schemes.snug import OnlineDemandMonitor
 
         scheme.attach_monitor(OnlineDemandMonitor.from_config(config))
-    system = CmpSystem(config, scheme, list(traces))
-    return system.run(target_instructions, warmup_instructions=warmup_instructions)
+    system = make_system(sim_core, config, scheme, list(traces))
+    return system.run(
+        target_instructions,
+        warmup_instructions=warmup_instructions,
+        max_events=max_events,
+    )
 
 
 def select_cc_best(results_by_prob: Iterable[Tuple[float, SimResult]]) -> tuple[SimResult, float]:

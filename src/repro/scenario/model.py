@@ -77,12 +77,19 @@ _PLAN_KEYS = (
     "seed",
     "cc_probs",
     "snug_monitor",
+    "sim_core",
+    "max_events",
 )
 
 
 def plan_to_dict(plan: RunPlan) -> Dict[str, Any]:
-    """A :class:`RunPlan` as the JSON-native ``plan:`` mapping."""
-    return {
+    """A :class:`RunPlan` as the JSON-native ``plan:`` mapping.
+
+    ``sim_core``/``max_events`` are emitted only when set away from their
+    defaults, so plan dicts (and scenario dumps) written before those knobs
+    existed remain byte-for-byte reproducible.
+    """
+    out = {
         "n_accesses": plan.n_accesses,
         "target_instructions": plan.target_instructions,
         "warmup_instructions": plan.warmup_instructions,
@@ -90,6 +97,11 @@ def plan_to_dict(plan: RunPlan) -> Dict[str, Any]:
         "cc_probs": [float(p) for p in plan.cc_probs],
         "snug_monitor": bool(plan.snug_monitor),
     }
+    if plan.sim_core != "auto":
+        out["sim_core"] = plan.sim_core
+    if plan.max_events is not None:
+        out["max_events"] = plan.max_events
+    return out
 
 
 def plan_from_dict(data: Mapping, path: str = "plan") -> RunPlan:
@@ -114,6 +126,12 @@ def plan_from_dict(data: Mapping, path: str = "plan") -> RunPlan:
             f"{path}.cc_probs: probabilities must be distinct at 1% "
             "granularity (task ids round to whole percent)"
         )
+    max_events_raw = take(data, "max_events", path, defaults.max_events)
+    max_events = (
+        None
+        if max_events_raw is None
+        else as_int(max_events_raw, f"{path}.max_events", minimum=1)
+    )
     try:
         return RunPlan(
             n_accesses=as_int(
@@ -134,6 +152,11 @@ def plan_from_dict(data: Mapping, path: str = "plan") -> RunPlan:
                 take(data, "snug_monitor", path, defaults.snug_monitor),
                 f"{path}.snug_monitor",
             ),
+            sim_core=as_str(
+                take(data, "sim_core", path, defaults.sim_core),
+                f"{path}.sim_core",
+            ),
+            max_events=max_events,
         )
     except ValueError as exc:  # RunPlan's own __post_init__
         raise ConfigError(f"{path}: {exc}") from None
@@ -235,6 +258,12 @@ class Scenario:
         as do a registered mix id and its expanded program list.  ``name``
         and ``description`` are cosmetic and excluded.
         """
+        # The stepping loop (plan.sim_core) is held bit-identical across
+        # cores by the conformance suites, so it cannot change what a
+        # scenario simulates — two runs differing only in sim_core must
+        # hash (and therefore store) identically.
+        plan_payload = plan_to_dict(self.plan)
+        plan_payload.pop("sim_core", None)
         payload = {
             "hash_version": _HASH_VERSION,
             "config": dataclasses.asdict(self.build_config()),
@@ -247,7 +276,7 @@ class Scenario:
                 for m in self.build_mixes()
             ],
             "schemes": normalize_schemes(list(self.schemes)),
-            "plan": plan_to_dict(self.plan),
+            "plan": plan_payload,
         }
         return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 

@@ -19,6 +19,7 @@ live in the CLI (:data:`PLAN_SIZING`) moved here with it.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
@@ -96,6 +97,14 @@ class EngineOptions:
     #: via ``--secret-file`` in a wrapper script) must not flip a serial run
     #: onto the engine path.
     secret: str | None = None
+    #: ``--sim-core``: override the plan's stepping loop (``auto``/``fast``/
+    #: ``batch``/``reference``).  Bit-identical by contract, so it neither
+    #: flips :attr:`engine_requested` nor perturbs the scenario's content
+    #: hash — a store written under one core resumes under any other.
+    sim_core: str | None = None
+    #: ``--profile``: cProfile the execution phase and dump the stats file
+    #: here (inspect with ``python -m pstats``).  Pure observability.
+    profile: str | None = None
 
     @property
     def engine_requested(self) -> bool:
@@ -127,6 +136,13 @@ class ScenarioExecution:
         self.options = options or EngineOptions()
         self.config = scenario.build_config()
         self.mixes = scenario.build_mixes()
+        # A --sim-core override replaces only the *executed* plan; the
+        # scenario itself (and hence its content hash and the store
+        # manifest) is untouched, keeping stores interchangeable across
+        # stepping loops.
+        self.plan = scenario.plan
+        if self.options.sim_core is not None:
+            self.plan = dataclasses.replace(self.plan, sim_core=self.options.sim_core)
         self.runner = self._build_runner() if self.options.engine_requested else None
 
     def _build_runner(self):
@@ -149,7 +165,7 @@ class ScenarioExecution:
             )
         return ParallelRunner(
             self.config,
-            self.scenario.plan,
+            self.plan,
             schemes=self.scenario.schemes,
             jobs=jobs,
             store=opts.store,
@@ -160,11 +176,29 @@ class ScenarioExecution:
         )
 
     def run(self) -> List[ComboResult]:
-        """Simulate every resolved mix; bit-identical on either path."""
+        """Simulate every resolved mix; bit-identical on either path.
+
+        With ``options.profile`` set, the execution phase (and only it —
+        validation and resolution happened at construction) runs under
+        :mod:`cProfile` and the stats land at that path.
+        """
+        if self.options.profile is not None:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                return self._run()
+            finally:
+                profiler.disable()
+                profiler.dump_stats(self.options.profile)
+        return self._run()
+
+    def _run(self) -> List[ComboResult]:
         if self.runner is not None:
             return self.runner.run(self.mixes)
         return [
-            run_combo(mix, self.config, self.scenario.plan, schemes=self.scenario.schemes)
+            run_combo(mix, self.config, self.plan, schemes=self.scenario.schemes)
             for mix in self.mixes
         ]
 

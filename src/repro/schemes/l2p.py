@@ -17,6 +17,9 @@ class PrivateL2(PrivateL2Base):
     """Strictly private per-core L2 slices."""
 
     name = "l2p"
+    # No spilling, no shared banks: a core's accesses never touch another
+    # core's slice, so cross-core scan invalidation is unnecessary.
+    bulk_cross_core_mutation = False
 
     def __init__(self, config: SystemConfig) -> None:
         super().__init__(config)
@@ -29,4 +32,4 @@ class PrivateL2(PrivateL2Base):
         fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
         stall = self._refill(core, fill, now)
         self._slice_stats[core].add("dram_fetches")
-        return AccessResult(latency + stall, Outcome.MEMORY)
+        return self._mem_result(latency + stall)

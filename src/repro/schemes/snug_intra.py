@@ -82,15 +82,15 @@ class SnugIntraCache(SnugCache):
             fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
             stall = self._refill(core, fill, now)
             self.stats.child(f"l2_{core}").add("remote_hits")
-            return AccessResult(
-                self.config.latency.l2_remote_snug + delay + stall, Outcome.REMOTE_HIT
+            return self._remote_result(
+                self.config.latency.l2_remote_snug + delay + stall
             )
 
         latency = self._memory_fetch(block_addr, now)
         fill = CacheLine(addr=block_addr, dirty=is_write, owner=core)
         stall = self._refill(core, fill, now)
         self.stats.child(f"l2_{core}").add("dram_fetches")
-        return AccessResult(latency + stall, Outcome.MEMORY)
+        return self._mem_result(latency + stall)
 
     # -- spilling ---------------------------------------------------------------
 

@@ -7,11 +7,17 @@ backend must additionally survive a worker dying mid-chunk without losing
 or duplicating a task.  A new backend added to
 ``repro.engine.backends.BACKENDS`` gets held to the same bar by adding one
 factory here.
+
+``REPRO_SIM_CORE`` (default ``auto``) forces every plan in this file onto
+one stepping loop — CI's backend-conformance matrix re-runs the suite with
+``batch`` and ``reference``, holding each loop to the same byte-identical
+merge contract on every backend.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import socket as socketlib
 import threading
 
@@ -39,6 +45,8 @@ from repro.workloads.mixes import get_mix
 
 MIXES = [get_mix("c5_0"), get_mix("c5_1")]
 
+SIM_CORE = os.environ.get("REPRO_SIM_CORE", "auto")
+
 
 def small_plan() -> RunPlan:
     return RunPlan(
@@ -47,6 +55,7 @@ def small_plan() -> RunPlan:
         warmup_instructions=15_000,
         seed=5,
         cc_probs=(0.0, 1.0),
+        sim_core=SIM_CORE,
     )
 
 
@@ -136,6 +145,7 @@ class TestConformance:
             seed=5,
             cc_probs=(0.0,),
             snug_monitor=True,
+            sim_core=SIM_CORE,
         )
         schemes = ("l2p", "snug")
         serial = [

@@ -1,0 +1,171 @@
+"""Batched-core conformance: bit-identical to the reference on every path.
+
+The batched core (:mod:`repro.core.batch`) advances locally-resolvable
+accesses in bulk and falls back to scalar stepping at exactly the first
+non-local access, so every arithmetic term matches the seed loop kept in
+:mod:`repro.core.reference`.  This suite holds that contract at the
+``SimResult.to_dict()`` level — full dict equality, floats with ``==`` —
+across all six schemes, and on the edge paths where batching degrades or
+interacts with other subsystems:
+
+* ``l2s`` under a contention-modelled bus (``bulk_supported`` off: the
+  batched core must degenerate to scalar stepping, still bit-identical);
+* ``cc`` under contention + banked DRAM with ``check_invariants=True``
+  (the occupancy models must be untouched by bulk consumption);
+* ``snug`` with an attached :class:`OnlineDemandMonitor` (the observed
+  reference stream must be the same stream, latch for latch);
+* the budget-exhausted :class:`SimulationError` (same enriched per-core
+  progress message from either production loop);
+* CLI stores written under ``--sim-core batch`` vs ``--sim-core
+  reference`` (byte-identical records, same manifest — the store-level
+  face of the contract).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import scaled_config
+from repro.common.errors import SimulationError
+from repro.core.batch import BatchCmpSystem
+from repro.core.cmp import CmpSystem
+from repro.core.reference import ReferenceCmpSystem
+from repro.schemes.factory import SCHEMES, make_scheme
+from repro.workloads.mixes import build_mix_traces, get_mix
+
+ALL_SCHEMES = sorted(SCHEMES)
+
+
+def build(config_mut=None, *, scale="tiny", n_accesses=3_000):
+    cfg = scaled_config(scale, seed=7)
+    if config_mut is not None:
+        cfg = config_mut(cfg)
+    traces = build_mix_traces(get_mix("c4_0"), cfg.l2.num_sets, n_accesses, seed=0)
+    return cfg, traces
+
+
+def run_core(core_cls, cfg, scheme_name, traces, target, warmup, **core_kwargs):
+    scheme = make_scheme(scheme_name, cfg)
+    system = core_cls(cfg, scheme, list(traces), **core_kwargs)
+    return system.run(target, warmup_instructions=warmup).to_dict()
+
+
+class TestSchemeEquivalence:
+    @pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+    def test_batch_matches_reference_tiny(self, scheme_name):
+        cfg, traces = build()
+        ref = run_core(ReferenceCmpSystem, cfg, scheme_name, traces, 30_000, 5_000)
+        # check_invariants asserts around every bulk commit that the
+        # occupancy models (bus, DRAM, write buffers) were not advanced.
+        batch = run_core(
+            BatchCmpSystem, cfg, scheme_name, traces, 30_000, 5_000,
+            check_invariants=True,
+        )
+        fast = run_core(CmpSystem, cfg, scheme_name, traces, 30_000, 5_000)
+        assert batch == ref
+        assert fast == ref
+
+    @pytest.mark.parametrize("scheme_name", ["l2s", "snug"])
+    def test_batch_matches_reference_small(self, scheme_name):
+        # Small scale exercises deeper runs (longer quiescent stretches,
+        # more wraps); l2s covers the ordered-merge commit, snug the
+        # stage-horizon clamping.
+        cfg, traces = build(scale="small", n_accesses=4_000)
+        ref = run_core(ReferenceCmpSystem, cfg, scheme_name, traces, 30_000, 5_000)
+        batch = run_core(BatchCmpSystem, cfg, scheme_name, traces, 30_000, 5_000)
+        assert batch == ref
+
+
+class TestEdgePaths:
+    def test_l2s_contention_falls_back_to_scalar(self):
+        cfg, traces = build(
+            lambda c: dataclasses.replace(
+                c, bus=dataclasses.replace(c.bus, model_contention=True)
+            )
+        )
+        assert not make_scheme("l2s", cfg).bulk_supported
+        ref = run_core(ReferenceCmpSystem, cfg, "l2s", traces, 20_000, 2_000)
+        batch = run_core(BatchCmpSystem, cfg, "l2s", traces, 20_000, 2_000)
+        assert batch == ref
+
+    def test_cc_contention_banked_dram_with_invariants(self):
+        cfg, traces = build(
+            lambda c: dataclasses.replace(
+                c,
+                bus=dataclasses.replace(c.bus, model_contention=True),
+                dram=dataclasses.replace(c.dram, model_banks=True),
+            )
+        )
+        ref = run_core(ReferenceCmpSystem, cfg, "cc", traces, 20_000, 2_000)
+        batch = run_core(
+            BatchCmpSystem, cfg, "cc", traces, 20_000, 2_000,
+            check_invariants=True,
+        )
+        assert batch == ref
+
+    def test_snug_online_monitor_sees_identical_stream(self):
+        from repro.schemes.snug import OnlineDemandMonitor
+
+        cfg, traces = build()
+        results, monitors = [], []
+        for core_cls in (ReferenceCmpSystem, BatchCmpSystem):
+            scheme = make_scheme("snug", cfg)
+            scheme.attach_monitor(
+                OnlineDemandMonitor.from_config(cfg, chunk_accesses=512)
+            )
+            system = core_cls(cfg, scheme, list(traces))
+            results.append(system.run(20_000, warmup_instructions=2_000).to_dict())
+            monitors.append(scheme.monitor)
+        assert results[0] == results[1]
+        assert monitors[0].latches == monitors[1].latches
+
+    def test_budget_exhausted_message_identical(self):
+        cfg, traces = build()
+        messages = []
+        for core_cls in (CmpSystem, BatchCmpSystem):
+            scheme = make_scheme("l2p", cfg)
+            with pytest.raises(SimulationError) as exc_info:
+                core_cls(cfg, scheme, list(traces)).run(200_000, max_events=5_000)
+            messages.append(str(exc_info.value))
+        assert "event budget exhausted (5000)" in messages[0]
+        assert "core 0:" in messages[0]  # enriched per-core progress
+        assert messages[0] == messages[1]
+
+
+class TestCliStoreConformance:
+    def test_sim_core_stores_byte_identical(self, tmp_path):
+        """`--sim-core batch` and `--sim-core reference` persist
+        byte-identical per-task records under one manifest."""
+        from repro.cli import main
+        from repro.engine.store import ResultStore
+        from repro.scenario import preset_path
+
+        a, b = tmp_path / "batch", tmp_path / "reference"
+        for core, store in (("batch", a), ("reference", b)):
+            assert main(["scenario", "run", str(preset_path("smoke-tiny")),
+                         "--jobs", "0", "--sim-core", core,
+                         "--store", str(store)]) == 0
+        with ResultStore(a) as store_a, ResultStore(b) as store_b:
+            ids = store_a.completed_ids()
+            assert ids == store_b.completed_ids() and ids
+            for task_id in sorted(ids):
+                assert store_a.payload_bytes(task_id) == store_b.payload_bytes(
+                    task_id
+                )
+        assert (a / "manifest.json").read_bytes() == (
+            b / "manifest.json"
+        ).read_bytes()
+
+    def test_store_resumes_across_sim_cores(self, tmp_path):
+        """A store written under one stepping loop resumes under another:
+        sim_core is not part of the experiment identity."""
+        from repro.cli import main
+        from repro.scenario import preset_path
+
+        store = tmp_path / "store"
+        assert main(["scenario", "run", str(preset_path("smoke-tiny")),
+                     "--jobs", "0", "--sim-core", "batch",
+                     "--store", str(store)]) == 0
+        assert main(["scenario", "run", str(preset_path("smoke-tiny")),
+                     "--jobs", "0", "--sim-core", "fast",
+                     "--store", str(store), "--resume"]) == 0

@@ -1,0 +1,123 @@
+"""Unit tests for the bulk-access protocol primitives behind the batched core.
+
+The batched core's correctness rests on two commit primitives being
+semantically identical to sequential scalar stepping:
+
+* :func:`repro.schemes.base.bulk_touch_sets` — recency-committing a run of
+  local hits must leave every LRU set exactly as the equivalent sequence of
+  ``touch()`` calls (plus dirty-bit ORs) would, for list and ndarray inputs
+  and on both the short-run scalar path and the vectorized path;
+* :meth:`repro.schemes.l2s.SharedL2.bulk_commit_interleaved` — committing a
+  globally ``(issue_time, core_id)``-ordered hit sequence must reproduce
+  the scalar ``access()`` loop's bank states, hit counters and snoop
+  tallies on both its scalar (≤48) and vectorized paths.
+
+Whole-system bit-identicality is pinned separately by
+``tests/integration/test_batch_conformance.py``; these tests localize a
+protocol regression to the primitive that broke.
+"""
+
+import numpy as np
+import pytest
+
+from tests.helpers import tiny_system
+
+from repro.cache.block import CacheLine
+from repro.schemes.base import bulk_touch_sets
+from repro.schemes.l2p import PrivateL2
+from repro.schemes.l2s import SharedL2
+
+
+def set_states(cache):
+    """Per-set (addr, dirty) rows, MRU first — the full observable state."""
+    return [
+        [(line.addr, line.dirty) for line in lruset._lines]
+        for lruset in cache.sets
+    ]
+
+
+def filled_slice():
+    """A fully-populated l2p slice (every set holds tags 0..assoc-1)."""
+    scheme = PrivateL2(tiny_system())
+    cache = scheme.slices[0]
+    for a in range(len(cache.sets) * cache.sets[0].assoc):
+        cache.fill(CacheLine(addr=a, dirty=False, owner=0))
+    return cache
+
+
+class TestBulkTouchSets:
+    @pytest.mark.parametrize("n", [5, 200])  # scalar (<=24) and numpy paths
+    @pytest.mark.parametrize("as_list", [True, False])
+    def test_matches_sequential_touches(self, n, as_list):
+        rng = np.random.default_rng(3)
+        addrs = rng.integers(0, 64, size=n).tolist()
+        writes = (rng.random(n) < 0.3).tolist()
+
+        expected = filled_slice()
+        for a, w in zip(addrs, writes):
+            line = expected.sets[a & expected._index_mask].touch(a)
+            assert line is not None
+            if w:
+                line.dirty = True
+
+        actual = filled_slice()
+        if as_list:
+            bulk_touch_sets(actual, list(addrs), list(writes))
+        else:
+            bulk_touch_sets(
+                actual, np.asarray(addrs, dtype=np.int64), np.asarray(writes)
+            )
+        assert set_states(actual) == set_states(expected)
+
+    def test_membership_and_epoch_untouched(self):
+        cache = filled_slice()
+        epoch = cache.membership_epoch
+        before = {frozenset(s._addrs) for s in cache.sets}
+        bulk_touch_sets(cache, list(range(40)), [True] * 40)
+        assert cache.membership_epoch == epoch
+        assert {frozenset(s._addrs) for s in cache.sets} == before
+
+
+def filled_l2s():
+    """A SharedL2 whose banks all hold local addresses 0..63 (via misses)."""
+    scheme = SharedL2(tiny_system())
+    now = 0
+    for a in range(256):
+        now += scheme.access(a & 3, a, False, now).latency + 1
+    return scheme
+
+
+class TestBulkCommitInterleaved:
+    @pytest.mark.parametrize("n", [20, 120])  # scalar (<=48) and numpy paths
+    def test_matches_scalar_access_loop(self, n):
+        rng = np.random.default_rng(11)
+        addrs = rng.integers(0, 256, size=n).tolist()
+        cids = rng.integers(0, 4, size=n).tolist()
+        writes = (rng.random(n) < 0.25).tolist()
+
+        expected = filled_l2s()
+        now = 10_000
+        for cid, a, w in zip(cids, addrs, writes):
+            result = expected.access(cid, a, w, now)
+            assert result.outcome.value.endswith("hit")
+            now += result.latency + 1
+
+        actual = filled_l2s()
+        actual.bulk_commit_interleaved(cids, addrs, writes)
+
+        for bank_e, bank_a in zip(expected.banks, actual.banks):
+            assert set_states(bank_a) == set_states(bank_e)
+        assert actual.flat_stats() == expected.flat_stats()
+
+    def test_single_core_bulk_commit_delegates(self):
+        rng = np.random.default_rng(5)
+        addrs = rng.integers(0, 256, size=30).tolist()
+        writes = (rng.random(30) < 0.5).tolist()
+
+        expected = filled_l2s()
+        expected.bulk_commit_interleaved([2] * 30, list(addrs), list(writes))
+        actual = filled_l2s()
+        actual.bulk_commit(2, np.asarray(addrs, dtype=np.int64), np.asarray(writes))
+        for bank_e, bank_a in zip(expected.banks, actual.banks):
+            assert set_states(bank_a) == set_states(bank_e)
+        assert actual.flat_stats() == expected.flat_stats()
