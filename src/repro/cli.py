@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the library's main entry points:
+Ten subcommands cover the library's main entry points:
 
 ``characterize``
     Section 2 pipeline: per-set demand distribution of one benchmark
@@ -47,6 +47,20 @@ Eight subcommands cover the library's main entry points:
     quarantines corrupt ones with per-record messages, reclaims
     superseded records, and converts legacy one-JSON-file-per-task stores
     to the sharded segment layout in place (see ``docs/engine.md``).
+
+``serve``
+    The simulation service: a long-lived job server with a durable job
+    database, per-submitter fair-share scheduling, content-hash dedupe
+    (identical scenarios coalesce to one run) and a sealed result cache
+    keyed by scenario content hash.  Speaks the engine's authenticated,
+    encrypted frame protocol (see ``docs/service.md``).
+
+``job``
+    Client verbs against a running service: ``repro job
+    submit|status|result|cancel|list`` submit a scenario file (bundled
+    presets by bare name), poll its journaled state and per-task
+    progress, fetch the result store's canonical record bytes, cancel,
+    or list every job the server knows.
 
 All commands accept ``--scale {tiny,small,medium,paper}`` and ``--seed``
 (ignored by ``scenario``, whose files carry their own scale and seeds).
@@ -107,6 +121,7 @@ from .scenario import (
     scenario_from_flags,
 )
 from .schemes.factory import SCHEMES
+from .service import DEFAULT_SERVICE_PORT, ServiceClient, SimulationService
 from .workloads.mixes import MIXES, mix_classes
 from .workloads.spec2000 import benchmark_names
 from .workloads.trace_cache import resolve_cache_root
@@ -393,6 +408,123 @@ def build_parser() -> argparse.ArgumentParser:
     p_smigrate.add_argument(
         "--shards", type=int, default=None, metavar="N",
         help="shard count for the migrated store (default: 8)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[cache_flags],
+        help="run the simulation service: durable job queue, fair-share "
+             "scheduling, scenario-hash dedupe and result cache "
+             "(see docs/service.md)",
+    )
+    p_serve.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="service state directory: the job journal lives under "
+             "DIR/jobs/ and one sealed result store per scenario hash "
+             "under DIR/cache/ (restarting over the same DIR recovers "
+             "every job and keeps every cached result)",
+    )
+    p_serve.add_argument(
+        "--bind", default=f"127.0.0.1:{DEFAULT_SERVICE_PORT}", metavar="HOST:PORT",
+        help=f"listen address (default 127.0.0.1:{DEFAULT_SERVICE_PORT}; "
+             "port 0 = any free port, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="simulation worker threads claiming jobs from the fair-share "
+             "queue (each runs one job at a time)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="parallelism *within* each job: worker processes per "
+             "simulation (0 = run the job's tasks in-process)",
+    )
+    p_serve.add_argument(
+        "--sim-core", choices=SIM_CORES, default=None,
+        help="stepping loop for served jobs (bit-identical by contract, "
+             "so it never changes what a job computes)",
+    )
+    p_serve.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the shared client-auth secret (per-frame HMAC "
+             "plus negotiated payload encryption; default "
+             "$REPRO_ENGINE_SECRET, else unauthenticated integrity-only "
+             "MACs with a loud warning)",
+    )
+    p_serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="claims a job may consume before it fails terminally "
+             "(each retry resumes the job's partial result store)",
+    )
+
+    job_flags = argparse.ArgumentParser(add_help=False)
+    job_flags.add_argument(
+        "--connect", default=f"127.0.0.1:{DEFAULT_SERVICE_PORT}", metavar="HOST:PORT",
+        help=f"service address (the serve --bind address; default "
+             f"127.0.0.1:{DEFAULT_SERVICE_PORT})",
+    )
+    job_flags.add_argument(
+        "--secret-file", default=None, metavar="PATH",
+        help="file holding the shared auth secret; must match the "
+             "server's (default $REPRO_ENGINE_SECRET)",
+    )
+    p_job = sub.add_parser(
+        "job",
+        help="talk to a running `repro serve`: submit scenarios, poll "
+             "status, fetch results, cancel, list",
+    )
+    job_sub = p_job.add_subparsers(dest="job_command", required=True)
+    p_jsubmit = job_sub.add_parser(
+        "submit", parents=[job_flags],
+        help="submit a scenario file (or bundled preset name) as a job; "
+             "an identical scenario already cached or in flight is "
+             "answered without re-simulating",
+    )
+    p_jsubmit.add_argument(
+        "file", metavar="FILE",
+        help="scenario file (YAML/JSON) or bundled preset name "
+             "(grids are refused: expand first, submit each point)",
+    )
+    p_jsubmit.add_argument(
+        "--submitter", default=None, metavar="NAME",
+        help="fair-share tenant identity the job is charged to "
+             "(default $USER, else 'anonymous')",
+    )
+    p_jsubmit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal, printing its final state "
+             "(exit 0 on done, 1 on failed/cancelled)",
+    )
+    p_jsubmit.add_argument(
+        "--wait-timeout", type=float, default=3600.0, metavar="S",
+        help="give up on --wait after S seconds (default: 3600)",
+    )
+    p_jstatus = job_sub.add_parser(
+        "status", parents=[job_flags],
+        help="print one job's journaled state line",
+    )
+    p_jstatus.add_argument("job_id", metavar="JOB_ID", help="the id submit printed")
+    p_jresult = job_sub.add_parser(
+        "result", parents=[job_flags],
+        help="fetch a done job's per-task canonical record bytes "
+             "(exactly the server store's checksummed payloads)",
+    )
+    p_jresult.add_argument("job_id", metavar="JOB_ID", help="the id submit printed")
+    p_jresult.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write each task's payload to DIR/<task_id>.bin (two fetches "
+             "of one job byte-compare equal with `diff -r`); default: "
+             "print a digest summary only",
+    )
+    p_jcancel = job_sub.add_parser(
+        "cancel", parents=[job_flags],
+        help="cancel a job (detaches a coalesced follower; aborts the "
+             "engine run only when nobody else wants the result)",
+    )
+    p_jcancel.add_argument("job_id", metavar="JOB_ID", help="the id submit printed")
+    job_sub.add_parser(
+        "list", parents=[job_flags],
+        help="print every job the service knows, oldest first",
     )
     return parser
 
@@ -711,6 +843,130 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 1
 
 
+def _job_line(job: dict) -> str:
+    """The one-line job rendering every ``repro job`` verb prints."""
+    dedup = "true" if job.get("deduplicated") else "false"
+    line = (
+        f"job {job['job_id']}: state={job['state']} deduplicated={dedup} "
+        f"progress={job.get('progress_done', 0)}/{job.get('progress_total', 0)} "
+        f"hash={job['scenario_hash'][:12]} submitter={job.get('submitter', '?')}"
+    )
+    if job.get("attached_to"):
+        line += f" attached_to={job['attached_to']}"
+    if job.get("error"):
+        line += f" error={job['error']!r}"
+    return line
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    host, port = _parse_hostport(args.bind)
+    try:
+        service = SimulationService(
+            args.root,
+            host=host,
+            port=port,
+            secret=_read_secret_file(args.secret_file),
+            workers=args.workers,
+            jobs=args.jobs,
+            sim_core=args.sim_core,
+            trace_cache=resolve_cache_root(args.trace_cache),
+            max_attempts=args.max_attempts,
+        )
+        service.start()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    recovered = service.db.recovered
+    if recovered:
+        print(f"serve: recovered {len(recovered)} interrupted job(s): "
+              f"{', '.join(recovered)}")
+    print(
+        f"serve: listening on {service.host}:{service.port} "
+        f"(root {args.root}, {args.workers} worker(s); "
+        f"submit with: repro job submit FILE --connect "
+        f"{service.host}:{service.port})",
+        flush=True,
+    )
+    service.serve_forever()
+    return 0
+
+
+def _job_client(args: argparse.Namespace) -> ServiceClient:
+    host, port = _parse_hostport(args.connect)
+    submitter = getattr(args, "submitter", None) or os.environ.get("USER") or "anonymous"
+    return ServiceClient(
+        host,
+        port,
+        secret=_read_secret_file(args.secret_file),
+        submitter=submitter,
+    )
+
+
+def _cmd_job(args: argparse.Namespace) -> int:
+    try:
+        return _job_dispatch(args)
+    except (ReproError, OSError) as exc:
+        # Connection refused, wrong secret, unknown job id, not-ready
+        # result: the message is the diagnosis.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _job_dispatch(args: argparse.Namespace) -> int:
+    with _job_client(args) as client:
+        if args.job_command == "submit":
+            loaded = load_scenario_file(args.file)
+            if isinstance(loaded, ScenarioGrid):
+                print(
+                    f"error: {args.file} is a scenario grid; `repro scenario "
+                    "expand --out DIR` it and submit each point",
+                    file=sys.stderr,
+                )
+                return 1
+            job = client.submit(loaded)
+            print(_job_line(job))
+            if not args.wait:
+                return 0
+            job = client.wait(job["job_id"], timeout=args.wait_timeout)
+            print(_job_line(job))
+            return 0 if job["state"] == "done" else 1
+        if args.job_command == "status":
+            print(_job_line(client.status(args.job_id)))
+            return 0
+        if args.job_command == "result":
+            job, payloads = client.result(args.job_id)
+            print(_job_line(job))
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                for task_id, blob in sorted(payloads.items()):
+                    with open(os.path.join(args.out, f"{task_id}.bin"), "wb") as fh:
+                        fh.write(blob)
+                print(f"wrote {len(payloads)} task payload(s) to {args.out}")
+            else:
+                import hashlib
+
+                digest = hashlib.sha256()
+                for task_id, blob in sorted(payloads.items()):
+                    digest.update(task_id.encode())
+                    digest.update(blob)
+                total = sum(len(blob) for blob in payloads.values())
+                print(
+                    f"{len(payloads)} task payload(s), {total} bytes, "
+                    f"sha256 {digest.hexdigest()[:16]}"
+                )
+            return 0
+        if args.job_command == "cancel":
+            cancelled, job = client.cancel(args.job_id)
+            print(_job_line(job))
+            return 0 if cancelled else 1
+        # list
+        jobs = client.list_jobs()
+        for job in jobs:
+            print(_job_line(job))
+        print(f"{len(jobs)} job(s)")
+        return 0
+
+
 def _cmd_overhead(args: argparse.Namespace) -> int:
     grid = SnugOverheadModel.table3()
     rows = [
@@ -734,6 +990,8 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "worker": _cmd_worker,
     "store": _cmd_store,
+    "serve": _cmd_serve,
+    "job": _cmd_job,
 }
 
 
@@ -774,6 +1032,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "store" and args.store_command == "migrate":
         if args.shards is not None and args.shards < 1:
             parser.error("--shards must be >= 1")
+    if args.command == "serve":
+        if _parse_hostport(args.bind) is None:
+            parser.error(f"--bind expects HOST:PORT, got {args.bind!r}")
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        if args.jobs < 0:
+            parser.error("--jobs must be >= 0 (0 = in-process task loop)")
+        if args.max_attempts < 1:
+            parser.error("--max-attempts must be >= 1")
+    if args.command == "job":
+        if _parse_hostport(args.connect) is None:
+            parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+        if args.job_command == "submit" and args.wait_timeout <= 0:
+            parser.error("--wait-timeout must be positive seconds")
     return _COMMANDS[args.command](args)
 
 

@@ -51,6 +51,17 @@ class ProtocolError(EngineError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """The simulation service refused or could not honour a request.
+
+    Raised by the job layer (:mod:`repro.service`) for illegal job-state
+    transitions (a second terminal transition, claiming a job that is not
+    queued), unknown job ids, and malformed service requests.  Transport
+    and authentication problems keep raising :class:`ProtocolError` /
+    :class:`AuthError` — the service speaks the engine's wire protocol.
+    """
+
+
 class AuthError(EngineError):
     """A socket-backend peer failed authentication or version negotiation.
 

@@ -137,6 +137,8 @@ __all__ = [
     "recv_msg",
     "send_hello",
     "recv_hello",
+    "accept_peer",
+    "connect_peer",
     "resolve_secret",
     "PROTOCOL_VERSION",
 ]
@@ -464,6 +466,115 @@ def _send_error(sock: socket.socket, key: bytes, message: str) -> None:
         send_frame(sock, json.dumps({"type": "error", "error": message}).encode(), key)
     except OSError:  # pragma: no cover - peer already gone
         pass
+
+
+def accept_peer(
+    sock: socket.socket,
+    key: bytes | str | None = None,
+    *,
+    welcome_extra: Optional[dict] = None,
+) -> Optional[Tuple[dict, Optional[PayloadCipher]]]:
+    """Server half of the v2 handshake: hello in, welcome (+cipher) out.
+
+    Validates the peer's hello (:func:`recv_hello` — version and MAC checks,
+    never the unpickler), negotiates the payload cipher (mandatory under a
+    real shared secret: a peer that cannot encrypt is refused, no silent
+    downgrade), and answers with a ``welcome`` frame merged with
+    *welcome_extra*.  Returns ``(hello, cipher)`` — ``cipher`` is ``None``
+    on an integrity-only default-key channel.  Returns ``None`` when the
+    peer was a clean EOF probe or was rejected (the actionable reason has
+    already been sent as an ``error`` frame).  Non-protocol peers raise
+    :class:`ProtocolError` and should be dropped silently.
+
+    This is the handshake the engine coordinator runs for every worker; the
+    simulation service (:mod:`repro.service.server`) runs the same one for
+    its clients, which is how job submission inherits HMAC frame auth and
+    AEAD payload encryption unchanged.
+    """
+    resolved = resolve_secret(key)
+    try:
+        hello = recv_hello(sock, resolved)
+    except AuthError as exc:
+        # Stale-protocol or wrong-secret peer: forward the reason so the
+        # *peer's* failure message is actionable, then drop.
+        _send_error(sock, resolved, str(exc))
+        return None
+    if hello is None:
+        return None  # clean EOF probe; never a peer
+    # Payload-cipher negotiation: mandatory under a real secret (a peer
+    # that cannot encrypt is refused — no silent downgrade), skipped under
+    # the public default key where encryption would only be theater.
+    cipher: Optional[PayloadCipher] = None
+    welcome = {"type": "welcome", "version": PROTOCOL_VERSION}
+    if welcome_extra:
+        welcome.update(welcome_extra)
+    if resolved != _DEFAULT_KEY:
+        chosen = negotiate_cipher(hello.get("ciphers") or [])
+        if chosen is None or not hello.get("nonce"):
+            _send_error(
+                sock,
+                resolved,
+                "this coordinator requires encrypted result payloads "
+                "(a shared secret is configured) but the worker "
+                "offered no supported payload cipher — upgrade repro "
+                "on the worker host",
+            )
+            return None
+        server_nonce = os.urandom(_NONCE_BYTES).hex()
+        welcome["cipher"] = chosen
+        welcome["nonce"] = server_nonce
+        cipher = _channel_cipher(chosen, resolved, str(hello["nonce"]), server_nonce)
+    # The welcome itself travels plaintext (the peer cannot have the
+    # server nonce yet); everything after it is encrypted.
+    send_msg(sock, welcome, resolved)
+    return hello, cipher
+
+
+def connect_peer(
+    sock: socket.socket,
+    key: bytes | str | None = None,
+    name: str = "client",
+    *,
+    injector: FaultInjector | None = None,
+) -> Tuple[dict, Optional[PayloadCipher]]:
+    """Client half of the v2 handshake: hello out, welcome (+cipher) back.
+
+    Sends the MAC'd JSON hello, validates the welcome, and derives the
+    negotiated per-connection payload cipher from both nonces.  Returns
+    ``(welcome, cipher)``.  Raises :class:`AuthError` on rejection or on a
+    server that will not encrypt while this side holds a real secret
+    (plaintext is refused both directions), and :class:`ProtocolError` on a
+    non-protocol peer.  Used by ``repro worker`` connections and by the
+    simulation-service client alike.
+    """
+    resolved = resolve_secret(key)
+    nonce = os.urandom(_NONCE_BYTES).hex()
+    send_hello(sock, name, resolved, nonce=nonce, injector=injector)
+    welcome = recv_msg(sock, resolved)
+    if welcome is None:
+        raise ProtocolError("coordinator closed the connection during handshake")
+    if welcome.get("type") != "welcome":
+        raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
+    if welcome.get("version") != PROTOCOL_VERSION:
+        raise AuthError(
+            f"coordinator speaks protocol version {welcome.get('version')}, "
+            f"this worker speaks {PROTOCOL_VERSION}; upgrade the older side"
+        )
+    cipher: Optional[PayloadCipher] = None
+    if welcome.get("cipher"):
+        cipher = _channel_cipher(
+            str(welcome["cipher"]), resolved, nonce, str(welcome.get("nonce", ""))
+        )
+    elif resolved != _DEFAULT_KEY:
+        # This side holds a real secret, so the server must too (the
+        # welcome's MAC verified) — a welcome without a cipher means a
+        # pre-encryption server.  Refuse rather than send plaintext.
+        raise AuthError(
+            "coordinator did not negotiate payload encryption but a shared "
+            "secret is configured; upgrade repro on the coordinator host "
+            "(this worker refuses to send results in plaintext)"
+        )
+    return welcome, cipher
 
 
 # -- identities -------------------------------------------------------------
@@ -942,50 +1053,17 @@ class SocketBackend(ExecutionBackend):
         registered = False
         current: str | None = None
         try:
-            try:
-                hello = recv_hello(conn, self._key)
-            except AuthError as exc:
-                # Stale-protocol or wrong-secret worker: forward the reason
-                # so the *worker's* failure message is actionable, then drop.
-                _send_error(conn, self._key, str(exc))
-                return
-            if hello is None:
-                return  # clean EOF probe; never a worker
-            # Payload-cipher negotiation: mandatory under a real secret
-            # (a worker that cannot encrypt is refused — no silent
-            # downgrade), skipped under the public default key where
-            # encryption would only be theater.
-            cipher: PayloadCipher | None = None
-            welcome = {
-                "type": "welcome",
-                "version": PROTOCOL_VERSION,
-                "sweep_id": sweep,
-            }
-            if self._key != _DEFAULT_KEY:
-                chosen = negotiate_cipher(hello.get("ciphers") or [])
-                if chosen is None or not hello.get("nonce"):
-                    _send_error(
-                        conn,
-                        self._key,
-                        "this coordinator requires encrypted result payloads "
-                        "(a shared secret is configured) but the worker "
-                        "offered no supported payload cipher — upgrade repro "
-                        "on the worker host",
-                    )
-                    return
-                coord_nonce = os.urandom(_NONCE_BYTES).hex()
-                welcome["cipher"] = chosen
-                welcome["nonce"] = coord_nonce
-                cipher = _channel_cipher(
-                    chosen, self._key, str(hello["nonce"]), coord_nonce
-                )
-                self.cipher_name = chosen
+            accepted = accept_peer(
+                conn, self._key, welcome_extra={"sweep_id": sweep}
+            )
+            if accepted is None:
+                return  # EOF probe, stale protocol, or wrong secret: dropped
+            hello, cipher = accepted
+            if cipher is not None:
+                self.cipher_name = cipher.name
             state.worker_joined(conn)
             registered = True
             self.workers_seen += 1
-            # The welcome itself travels plaintext (the worker cannot have
-            # the coordinator nonce yet); everything after it is encrypted.
-            send_msg(conn, welcome, self._key)
             while True:
                 msg = recv_msg(conn, self._key, cipher=cipher)
                 if msg is None:
@@ -1199,33 +1277,9 @@ def _serve_connection(
     """
     sock.settimeout(None)
     send_lock = threading.Lock()
-    nonce = os.urandom(_NONCE_BYTES).hex()
-    with send_lock:
-        send_hello(sock, name, key, nonce=nonce, injector=injector)
-    welcome = recv_msg(sock, key)
-    if welcome is None:
-        raise ProtocolError("coordinator closed the connection during handshake")
-    if welcome.get("type") != "welcome":
-        raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
-    if welcome.get("version") != PROTOCOL_VERSION:
-        raise AuthError(
-            f"coordinator speaks protocol version {welcome.get('version')}, "
-            f"this worker speaks {PROTOCOL_VERSION}; upgrade the older side"
-        )
-    cipher: PayloadCipher | None = None
-    if welcome.get("cipher"):
-        cipher = _channel_cipher(
-            str(welcome["cipher"]), key, nonce, str(welcome.get("nonce", ""))
-        )
-    elif key != _DEFAULT_KEY:
-        # This worker holds a real secret, so the coordinator must too (the
-        # welcome's MAC verified) — a welcome without a cipher means a
-        # pre-encryption coordinator.  Refuse rather than send plaintext.
-        raise AuthError(
-            "coordinator did not negotiate payload encryption but a shared "
-            "secret is configured; upgrade repro on the coordinator host "
-            "(this worker refuses to send results in plaintext)"
-        )
+    # The handshake predates the heartbeat thread, so no lock is needed
+    # around it — nothing else can write to the socket yet.
+    welcome, cipher = connect_peer(sock, key, name, injector=injector)
     sweep_id = str(welcome.get("sweep_id", ""))
 
     if spool is not None and spool_gc_age is not None:

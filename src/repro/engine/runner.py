@@ -16,7 +16,7 @@ for any worker count.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from ..common.config import SystemConfig
 from ..common.errors import EngineError
@@ -76,6 +76,16 @@ class ParallelRunner:
         the result-store manifest, so a later ``--resume`` against results
         produced by a *different* scenario fails upfront instead of silently
         merging incomparable result sets.
+    progress:
+        Optional ``progress(task_id, done, total)`` callback invoked from
+        :meth:`run` once per settled task — immediately for each task
+        satisfied from the resume store, then after each backend result is
+        persisted.  ``done`` counts settled tasks so far and ``total`` is
+        the expanded task count, so ``done == total`` on the final call.
+        The service layer (:mod:`repro.service`) taps this to journal live
+        job progress; a raising callback aborts the sweep (used for
+        cooperative cancellation) after the current result is safely in
+        the store.
     """
 
     def __init__(
@@ -90,6 +100,7 @@ class ParallelRunner:
         backend: ExecutionBackend | str | None = None,
         trace_cache: str | None = None,
         scenario: "Scenario | None" = None,
+        progress: Optional[Callable[[str, int, int], None]] = None,
     ) -> None:
         if jobs < 0:
             raise EngineError("jobs must be >= 0 (0 = run tasks in-process)")
@@ -111,6 +122,7 @@ class ParallelRunner:
         self.store = ResultStore(store) if store is not None else None
         self.resume = resume
         self.scenario = scenario
+        self.progress = progress
         # Filled by run() for reporting (CLI summary line, resume tests).
         self.tasks_total = 0
         self.tasks_resumed = 0
@@ -187,7 +199,13 @@ class ParallelRunner:
 
         pending = [t for t in tasks if t.task_id not in results]
         self.tasks_run = len(pending)
+        done_count = 0
         try:
+            if self.progress is not None:
+                for task in tasks:
+                    if task.task_id in results:
+                        done_count += 1
+                        self.progress(task.task_id, done_count, self.tasks_total)
             if pending:
                 chunks = self._chunk(pending)
                 for task, result in self.backend.submit_chunks(
@@ -202,6 +220,9 @@ class ParallelRunner:
                             },
                         )
                     results[task.task_id] = result
+                    if self.progress is not None:
+                        done_count += 1
+                        self.progress(task.task_id, done_count, self.tasks_total)
         finally:
             # Release segment handles (and let the store compact itself)
             # whether the sweep finished or died; every record is already

@@ -27,10 +27,12 @@ from .sharded import (
     RepairReport,
     ResultStore,
     VerifyReport,
+    atomic_write_json,
 )
 
 __all__ = [
     "ResultStore",
+    "atomic_write_json",
     "STORE_VERSION",
     "DEFAULT_SHARDS",
     "Problem",

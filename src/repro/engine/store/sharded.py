@@ -82,20 +82,31 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
-def _atomic_write_json(path: Path, payload: dict) -> None:
+def atomic_write_json(
+    path: Path, payload: dict, *, sync: bool = True
+) -> None:
     """Atomic-replace JSON write with full fsync discipline.
 
     The temp file is fsynced before the rename and the parent directory
     after it, so a power cut can't leave an empty-but-named file — the
-    failure mode of a bare ``os.replace``.
+    failure mode of a bare ``os.replace``.  ``sync=False`` keeps the
+    atomic-replace (readers never observe a torn file) but skips both
+    fsyncs, for callers whose records are recoverable and written often
+    enough that durability-per-write would dominate.
     """
     tmp = path.with_suffix(path.suffix + ".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(payload, indent=2, sort_keys=True))
-        handle.flush()
-        os.fsync(handle.fileno())
+        if sync:
+            handle.flush()
+            os.fsync(handle.fileno())
     os.replace(tmp, path)
-    _fsync_dir(path.parent)
+    if sync:
+        _fsync_dir(path.parent)
+
+
+#: Internal alias kept for the store modules' historical spelling.
+_atomic_write_json = atomic_write_json
 
 
 def _comparable(manifest: dict) -> dict:

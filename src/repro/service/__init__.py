@@ -1,0 +1,50 @@
+"""Simulation-as-a-service front door: jobs, fair-share queue, result cache.
+
+This package turns the repository's batch engine into a long-lived
+multi-tenant service — the ROADMAP's "millions of users" story.  A
+:class:`~repro.scenario.model.Scenario` (already a validated,
+content-hashed payload) is the unit of submission; the service answers it
+from, in order of preference:
+
+1. the **result cache** (:mod:`repro.service.cache`): a sealed store for
+   the same ``content_hash()`` means instant ``done`` with zero engine
+   work;
+2. a **live run** (:mod:`repro.service.queue`): an identical scenario
+   already queued or running absorbs the submission as a follower — one
+   simulation, every submitter gets bit-identical bytes;
+3. the **engine**: a fresh job enters the fair-share scheduler and is
+   claimed by a worker when its submitter's virtual clock is lowest.
+
+Job state is journaled crash-safely by :mod:`repro.service.jobs`; the
+transport (:mod:`repro.service.server` / :mod:`repro.service.client`) is
+the engine's existing authenticated, encrypted frame protocol.  The CLI
+verbs are ``repro serve`` and ``repro job ...``; ``docs/service.md`` has
+the full lifecycle and semantics.
+"""
+
+from .cache import ResultCache
+from .client import ServiceClient
+from .jobs import JOB_STATES, TERMINAL_STATES, JobDB, JobRecord
+from .queue import JobCancelled, JobQueue, estimate_scenario_cost
+from .server import (
+    DEFAULT_SERVICE_PORT,
+    SERVICE_BANNER,
+    SimulationService,
+    simulate_job,
+)
+
+__all__ = [
+    "DEFAULT_SERVICE_PORT",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobDB",
+    "JobQueue",
+    "JobCancelled",
+    "estimate_scenario_cost",
+    "ResultCache",
+    "SimulationService",
+    "ServiceClient",
+    "simulate_job",
+    "SERVICE_BANNER",
+]

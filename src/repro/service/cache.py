@@ -1,0 +1,113 @@
+"""Scenario-hash-keyed result cache: ``content_hash → sealed ResultStore``.
+
+Each cache entry is one directory, ``<root>/<content_hash>/``, holding a
+regular sharded :class:`~repro.engine.store.ResultStore` written by the
+simulating run plus a ``SEALED.json`` marker committed (atomically, after
+the store is closed) only when every task of the scenario finished.  The
+marker is the cache's transaction boundary:
+
+* no marker → the entry is a *partial* run.  A requeued job resumes into
+  the same store directory (the engine's resume path recomputes only the
+  missing tasks, bit-identical by the merge contract); a lookup misses.
+* marker present → the entry is immutable.  Lookups return instantly and
+  re-submissions of the same scenario never touch the engine again.
+
+Because the key is :meth:`Scenario.content_hash` — computed over resolved
+inputs only — two submissions that *mean* the same experiment hit the same
+entry no matter how they were spelled, while any change that could alter
+results changes the key.  The hash-stability golden
+(``tests/data/golden_scenario_hashes.json``) exists precisely to keep this
+keying honest across refactors.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..engine.store import ResultStore, atomic_write_json
+
+__all__ = ["ResultCache"]
+
+_MARKER = "SEALED.json"
+
+
+class ResultCache:
+    """Directory of sealed, content-addressed result stores."""
+
+    def __init__(self, root: str | Path, *, sync: bool = True) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+
+    # -- paths -------------------------------------------------------------
+
+    def store_path(self, scenario_hash: str) -> Path:
+        """Where the run for *scenario_hash* writes (exists or not)."""
+        return self.root / scenario_hash
+
+    def _marker_path(self, scenario_hash: str) -> Path:
+        return self.store_path(scenario_hash) / _MARKER
+
+    # -- API ---------------------------------------------------------------
+
+    def lookup(self, scenario_hash: str) -> Optional[Path]:
+        """The sealed store directory for *scenario_hash*, or ``None``.
+
+        A directory without its ``SEALED.json`` marker is a partial run
+        and deliberately reads as a miss — serving it would hand out an
+        incomplete result set.
+        """
+        marker = self._marker_path(scenario_hash)
+        return self.store_path(scenario_hash) if marker.exists() else None
+
+    def seal(self, scenario_hash: str, *, extra: Optional[dict] = None) -> Path:
+        """Commit the entry for *scenario_hash* as complete and immutable.
+
+        Called only after the run's :class:`ResultStore` is closed (every
+        record fsynced); the marker write is itself atomic, so a crash
+        between "store complete" and "marker visible" leaves a resumable
+        partial — never a sealed lie.
+        """
+        store_dir = self.store_path(scenario_hash)
+        if not store_dir.is_dir():
+            raise FileNotFoundError(
+                f"cannot seal {scenario_hash}: no store at {store_dir}"
+            )
+        payload = {"scenario_hash": scenario_hash, "sealed_at": time.time()}
+        if extra:
+            payload.update(extra)
+        atomic_write_json(self._marker_path(scenario_hash), payload, sync=self.sync)
+        return store_dir
+
+    def marker(self, scenario_hash: str) -> dict:
+        """The sealed marker's payload (raises ``FileNotFoundError`` on miss)."""
+        return json.loads(self._marker_path(scenario_hash).read_text())
+
+    def payloads(self, scenario_hash: str) -> Dict[str, bytes]:
+        """Every task's canonical record bytes from a sealed entry.
+
+        The values are :meth:`ResultStore.payload_bytes` — the exact
+        checksummed record bodies — so two clients comparing fetched
+        results byte-for-byte are comparing what is durably on disk, not
+        a re-serialization.
+        """
+        store_dir = self.lookup(scenario_hash)
+        if store_dir is None:
+            raise FileNotFoundError(f"no sealed cache entry for {scenario_hash}")
+        store = ResultStore(store_dir)
+        try:
+            return {
+                task_id: store.payload_bytes(task_id)
+                for task_id in sorted(store.completed_ids())
+            }
+        finally:
+            store.close()
+
+    def entries(self) -> List[str]:
+        """Hashes of every *sealed* entry, sorted."""
+        return sorted(
+            p.name for p in self.root.iterdir() if (p / _MARKER).exists()
+        )

@@ -1,0 +1,134 @@
+"""Client side of the simulation service: one authenticated connection.
+
+:class:`ServiceClient` dials a running :class:`SimulationService`, performs
+the engine protocol's client handshake (:func:`connect_peer` — version
+check, HMAC frame auth, payload-cipher negotiation under a shared secret),
+and exposes the service verbs as blocking request/response methods.  Every
+method sends one message and reads one reply on the same connection, so a
+client object is cheap to hold open across submit → poll → fetch.
+
+Error mapping mirrors the CLI's needs: transport and handshake problems
+raise the engine's :class:`~repro.common.errors.ProtocolError` /
+:class:`~repro.common.errors.AuthError`, while a well-formed service-level
+refusal (unknown job id, result not ready, malformed scenario) raises
+:class:`~repro.common.errors.ServiceError` carrying the server's message.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import ProtocolError, ServiceError
+from ..engine.backends.socket import connect_peer, recv_msg, send_msg
+from .server import SERVICE_BANNER
+
+__all__ = ["ServiceClient"]
+
+#: Terminal job states a ``wait()`` call stops polling on.
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class ServiceClient:
+    """Blocking submit/status/result/cancel client for one service."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        secret: str | bytes | None = None,
+        submitter: str = "anonymous",
+        timeout: float = 30.0,
+    ) -> None:
+        self.submitter = submitter
+        self.secret = secret
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            welcome, self._cipher = connect_peer(
+                self._sock, secret, f"client:{submitter}"
+            )
+            if welcome.get("service") != SERVICE_BANNER:
+                raise ProtocolError(
+                    "peer speaks the engine protocol but is not a job service "
+                    "(a sweep coordinator? check the host:port)"
+                )
+        except BaseException:
+            self._sock.close()
+            raise
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, message: dict) -> dict:
+        send_msg(self._sock, message, self.secret, cipher=self._cipher)
+        response = recv_msg(self._sock, self.secret, cipher=self._cipher)
+        if response is None:
+            raise ProtocolError("service closed the connection mid-request")
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "service refused the request")))
+        return response
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- verbs -------------------------------------------------------------
+
+    def submit(self, scenario, *, submitter: Optional[str] = None) -> dict:
+        """Submit a scenario (object or ``to_dict()`` payload); returns the job record."""
+        payload = scenario if isinstance(scenario, dict) else scenario.to_dict()
+        response = self._request(
+            {
+                "op": "submit",
+                "scenario": payload,
+                "submitter": submitter or self.submitter,
+            }
+        )
+        return response["job"]
+
+    def status(self, job_id: str) -> dict:
+        """The job's current journaled record."""
+        return self._request({"op": "status", "job_id": job_id})["job"]
+
+    def result(self, job_id: str) -> Tuple[dict, Dict[str, bytes]]:
+        """A done job's record plus its per-task canonical record bytes.
+
+        The payload values are the store's
+        :meth:`~repro.engine.store.ResultStore.payload_bytes` — exactly
+        what is on the server's disk, so two clients can byte-compare
+        their fetches to prove they share one result set.
+        """
+        response = self._request({"op": "result", "job_id": job_id})
+        return response["job"], response["payloads"]
+
+    def cancel(self, job_id: str) -> Tuple[bool, dict]:
+        """Request cancellation; ``(took_effect, record)``."""
+        response = self._request({"op": "cancel", "job_id": job_id})
+        return bool(response.get("cancelled")), response["job"]
+
+    def list_jobs(self) -> List[dict]:
+        """Every job record the service knows, oldest first."""
+        return self._request({"op": "list"})["jobs"]
+
+    def wait(self, job_id: str, *, timeout: float = 300.0, poll: float = 0.05) -> dict:
+        """Poll status until the job is terminal; returns the final record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] in _TERMINAL:
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll)

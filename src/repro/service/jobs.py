@@ -1,0 +1,270 @@
+"""Durable job database for the simulation service.
+
+Every job is one :class:`JobRecord` journaled as a single JSON file under
+``<root>/jobs/<job_id>.json``, rewritten atomically (write → fsync →
+rename → directory fsync, the :func:`repro.engine.store.atomic_write_json`
+idiom) on every state change — so the database is exactly as crash-safe as
+the result store: a record on disk is always a complete, parseable
+snapshot of the last committed transition, never a torn half-write.
+
+The lifecycle is a small state machine::
+
+    submitted ──→ queued ──→ running ──→ done
+        │            │        │   ▲        failed
+        │            │        │   └──────┐ cancelled
+        └────────────┴────────┴──────────┘
+                  (running → queued is the worker-death requeue)
+
+:meth:`JobRecord.transition` is the only mutation path and enforces the
+edges — in particular that a job reaches a **terminal** state (``done`` /
+``failed`` / ``cancelled``) exactly once; any transition out of a terminal
+state raises :class:`~repro.common.errors.ServiceError`.  The property
+suite (``tests/property/test_job_queue_properties.py``) leans on exactly
+this guarantee under adversarial interleavings.
+
+Opening a :class:`JobDB` over an existing directory recovers it: jobs left
+``running`` or ``submitted`` by a crashed server are moved back to
+``queued`` (their partial result stores resume, so no work is lost and
+nothing runs twice), and terminal jobs are served as-is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..common.errors import ServiceError
+from ..engine.store import atomic_write_json
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobDB",
+]
+
+#: Every legal job state, in lifecycle order.
+JOB_STATES = ("submitted", "queued", "running", "done", "failed", "cancelled")
+
+#: States a job can never leave.  Exactly one terminal transition per job.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Legal state-machine edges (``running → queued`` is the death requeue).
+_TRANSITIONS: Dict[str, frozenset] = {
+    "submitted": frozenset({"queued", "done", "failed", "cancelled"}),
+    "queued": frozenset({"running", "done", "failed", "cancelled"}),
+    "running": frozenset({"queued", "done", "failed", "cancelled"}),
+    "done": frozenset(),
+    "failed": frozenset(),
+    "cancelled": frozenset(),
+}
+
+
+@dataclass
+class JobRecord:
+    """One submitted scenario's full service-side history.
+
+    ``scenario`` is the submitted :meth:`Scenario.to_dict` payload and
+    ``scenario_hash`` its :meth:`content_hash` — the dedupe/cache key.
+    ``deduplicated`` marks a job that never ran the engine itself: it
+    attached to a live run with the same hash or was answered straight
+    from the sealed result cache; ``attached_to`` names the job that did
+    (or will do) the simulating.  ``attempts`` counts ``queued → running``
+    claims, so a record requeued by worker deaths shows how many times it
+    was picked up.
+    """
+
+    job_id: str
+    scenario_hash: str
+    scenario: dict
+    submitter: str
+    state: str = "submitted"
+    progress_done: int = 0
+    progress_total: int = 0
+    attempts: int = 0
+    #: Estimated engine cost (the fair-share charge); 0 for followers and
+    #: cache hits, which never occupy a worker.
+    cost: float = 0.0
+    deduplicated: bool = False
+    attached_to: Optional[str] = None
+    error: Optional[str] = None
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    #: Scenario display name (cosmetic; the hash is the identity).
+    scenario_name: str = ""
+    history: List[str] = field(default_factory=lambda: ["submitted"])
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached its (single) terminal state."""
+        return self.state in TERMINAL_STATES
+
+    def transition(self, new_state: str) -> None:
+        """Move to *new_state*, enforcing the lifecycle edges.
+
+        Raises :class:`ServiceError` for any illegal edge — including
+        every transition out of a terminal state, which is how
+        "terminal exactly once" is guaranteed structurally rather than by
+        caller discipline.
+        """
+        if new_state not in _TRANSITIONS:
+            raise ServiceError(f"unknown job state {new_state!r}")
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ServiceError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state!r} -> {new_state!r}"
+                + (" (job already terminal)" if self.terminal else "")
+            )
+        self.state = new_state
+        self.history.append(new_state)
+        self.updated_at = time.time()
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (the journaled on-disk shape)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRecord":
+        """Rebuild a record from its journaled shape."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+class JobDB:
+    """Crash-safe directory of job records with atomic per-record journal.
+
+    Thread-safe: one lock guards the in-memory map and the id counter;
+    each journal write is a whole-record atomic replace, so concurrent
+    readers of the directory (``repro job list`` against a live server's
+    files) always see complete records.
+
+    ``sync=False`` drops the fsyncs (atomic rename only) — used by the
+    property suite, which churns thousands of transitions and needs
+    process-crash (not power-loss) durability.
+    """
+
+    def __init__(self, root: str | Path, *, sync: bool = True) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self._lock = threading.RLock()
+        self._records: Dict[str, JobRecord] = {}
+        self._next_seq = 1
+        self.recovered: List[str] = []
+        self._load()
+
+    # -- persistence -------------------------------------------------------
+
+    def _path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _journal(self, record: JobRecord) -> None:
+        atomic_write_json(self._path(record.job_id), record.to_dict(), sync=self.sync)
+
+    def _load(self) -> None:
+        """Scan the journal, rebuild the map, requeue interrupted jobs."""
+        for path in sorted(self.jobs_dir.glob("job-*.json")):
+            try:
+                record = JobRecord.from_dict(json.loads(path.read_text()))
+            except (ValueError, TypeError) as exc:
+                raise ServiceError(f"unreadable job record {path}: {exc}") from exc
+            self._records[record.job_id] = record
+            seq = int(record.job_id.split("-")[-1])
+            self._next_seq = max(self._next_seq, seq + 1)
+            if record.state in ("running", "submitted"):
+                # The previous server died holding this job.  Its partial
+                # result store is resumable, so the honest state is
+                # "queued": it will be claimed again and finish
+                # bit-identical (the store-resume contract).
+                record.transition("queued")
+                self._journal(record)
+                self.recovered.append(record.job_id)
+
+    # -- API ---------------------------------------------------------------
+
+    def create(
+        self,
+        scenario: dict,
+        scenario_hash: str,
+        submitter: str,
+        *,
+        scenario_name: str = "",
+    ) -> JobRecord:
+        """Allocate and journal a fresh ``submitted`` record."""
+        with self._lock:
+            job_id = f"job-{self._next_seq:06d}"
+            self._next_seq += 1
+            now = time.time()
+            record = JobRecord(
+                job_id=job_id,
+                scenario_hash=scenario_hash,
+                scenario=scenario,
+                submitter=submitter,
+                scenario_name=scenario_name,
+                created_at=now,
+                updated_at=now,
+            )
+            self._records[job_id] = record
+            self._journal(record)
+            return record
+
+    def get(self, job_id: str) -> JobRecord:
+        """The record for *job_id*; :class:`ServiceError` if unknown."""
+        with self._lock:
+            try:
+                return self._records[job_id]
+            except KeyError:
+                raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    def transition(self, job_id: str, new_state: str, **fields) -> JobRecord:
+        """Apply one state transition (+field updates) and journal it.
+
+        Extra keyword *fields* (``error=...``, ``attempts=...``,
+        ``deduplicated=...``, ``attached_to=...``) are set on the record
+        in the same journal write, so a transition and its context are
+        always committed together.
+        """
+        with self._lock:
+            record = self.get(job_id)
+            record.transition(new_state)
+            for key, value in fields.items():
+                if not hasattr(record, key):
+                    raise ServiceError(f"JobRecord has no field {key!r}")
+                setattr(record, key, value)
+            self._journal(record)
+            return record
+
+    def update_progress(self, job_id: str, done: int, total: int) -> None:
+        """Journal a running job's per-task progress counters."""
+        with self._lock:
+            record = self.get(job_id)
+            record.progress_done = done
+            record.progress_total = total
+            record.updated_at = time.time()
+            self._journal(record)
+
+    def save(self, record: JobRecord) -> None:
+        """Journal *record* as-is (non-transition field updates)."""
+        with self._lock:
+            record.updated_at = time.time()
+            self._journal(record)
+
+    def list_jobs(self) -> List[JobRecord]:
+        """All records, oldest first (journal id order)."""
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.job_id)
+
+    def by_hash(self, scenario_hash: str) -> List[JobRecord]:
+        """All records for one scenario hash, oldest first."""
+        with self._lock:
+            return [
+                r
+                for r in self.list_jobs()
+                if r.scenario_hash == scenario_hash
+            ]

@@ -1,0 +1,445 @@
+"""Multi-tenant fair-share job queue with content-hash dedupe.
+
+Scheduling is **stride** (virtual-time weighted round-robin) on top of the
+engine's cost model: each submitter owns a FIFO of pending jobs and a
+virtual clock; :meth:`JobQueue.claim` always serves the submitter with the
+smallest clock, then advances that clock by ``cost / weight`` where *cost*
+is the job's estimated simulation cost
+(:func:`~repro.engine.tasks.estimate_task_cost` summed over the scenario's
+expanded task grid).  A submitter who just burned a huge sweep therefore
+waits while lighter tenants catch up, a heavier ``weight`` buys a
+proportionally larger share, and nobody starves: every active submitter's
+clock is eventually the minimum.  New (or re-activating) submitters start
+at the current global clock — history earns no credit, so an idle tenant
+cannot return and monopolize the workers.
+
+Dedupe rides on :meth:`Scenario.content_hash`.  A submission whose hash
+matches a **sealed cache entry** completes instantly (``done``,
+``deduplicated``) without touching the scheduler.  One matching a **live
+run** (queued or running) attaches to it as a *follower*: one engine run,
+many satisfied jobs, all fetching bit-identical bytes from the same store.
+Cancelling a follower just detaches it; cancelling a primary whose run has
+followers promotes the oldest follower (the run keeps its place — the
+remaining tenants did nothing wrong); cancelling the last interested party
+aborts the run cooperatively via the progress tap
+(:class:`JobCancelled`).
+
+Worker death (:meth:`death`) refunds the fairness charge and requeues the
+job at the *front* of its submitter's FIFO — the partial result store
+resumes, so a crashed attempt costs only the un-persisted tail.  After
+``max_attempts`` claims the job fails terminally instead of looping.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..common.errors import ServiceError
+from ..engine.tasks import estimate_task_cost, expand_mix_tasks
+from .cache import ResultCache
+from .jobs import JobDB, JobRecord
+
+__all__ = ["JobQueue", "JobCancelled", "estimate_scenario_cost"]
+
+
+class JobCancelled(ServiceError):
+    """Raised inside the progress tap to abort a run nobody wants anymore."""
+
+
+def estimate_scenario_cost(scenario) -> float:
+    """Total estimated engine cost of a scenario's expanded task grid.
+
+    The same per-task model the runner's chunk splitter uses, summed over
+    every (mix × scheme × CC-probability) task — so the fair-share charge
+    for a job is commensurate with the work the backend will actually do.
+    """
+    plan = scenario.plan
+    total = 0.0
+    for mix in scenario.build_mixes():
+        for task in expand_mix_tasks(mix, list(scenario.schemes), plan.cc_probs):
+            total += estimate_task_cost(task, plan)
+    return total
+
+
+class _Run:
+    """One live engine run serving a primary job plus attached followers."""
+
+    __slots__ = ("scenario_hash", "primary_id", "followers", "cancel_requested", "cost")
+
+    def __init__(self, scenario_hash: str, primary_id: str, cost: float) -> None:
+        self.scenario_hash = scenario_hash
+        self.primary_id = primary_id
+        self.followers: List[str] = []
+        self.cancel_requested = False
+        self.cost = cost
+
+
+class JobQueue:
+    """Fair-share scheduler + dedupe over a :class:`JobDB` and result cache.
+
+    Thread-safe; every method takes the queue lock.  The queue is purely
+    in-memory scheduling state — the durable truth is the job database —
+    and is rebuilt from the database on construction: queued jobs re-enter
+    their submitters' FIFOs, and dedupe topology (who attaches to whom) is
+    re-derived from scenario hashes, so a server restart preserves both
+    fairness bookkeeping and coalescing.
+
+    ``cost_fn`` maps a scenario to its scheduling cost (defaults to
+    :func:`estimate_scenario_cost`); the property suite injects a constant
+    one to drive the scheduler with synthetic scenarios.
+    """
+
+    def __init__(
+        self,
+        db: JobDB,
+        cache: Optional[ResultCache] = None,
+        *,
+        weights: Optional[Dict[str, float]] = None,
+        max_attempts: int = 3,
+        cost_fn: Optional[Callable[[object], float]] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ServiceError("max_attempts must be >= 1")
+        self.db = db
+        self.cache = cache
+        self.weights = dict(weights or {})
+        self.max_attempts = max_attempts
+        self.cost_fn = cost_fn or estimate_scenario_cost
+        self._lock = threading.RLock()
+        self._runs: Dict[str, _Run] = {}
+        self._fifos: Dict[str, Deque[str]] = {}
+        self._virtual: Dict[str, float] = {}
+        self._clock = 0.0
+        self._rebuild()
+
+    # -- recovery ----------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """Re-derive scheduler + dedupe state from the job database."""
+        for record in self.db.list_jobs():
+            if record.terminal or record.state != "queued":
+                continue
+            scenario_hash = record.scenario_hash
+            if self.cache is not None and self.cache.lookup(scenario_hash):
+                # The answer landed (possibly in a previous life) while
+                # this job waited: settle it straight from the cache.
+                self._settle_from_cache(record)
+                continue
+            run = self._runs.get(scenario_hash)
+            if run is not None:
+                run.followers.append(record.job_id)
+                if record.attached_to != run.primary_id or not record.deduplicated:
+                    record.attached_to = run.primary_id
+                    record.deduplicated = True
+                    self.db.save(record)
+                continue
+            cost = record.cost or 1.0
+            if record.attached_to is not None or record.deduplicated:
+                record.attached_to = None
+                record.deduplicated = False
+                self.db.save(record)
+            self._add_primary(record, cost)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _weight(self, submitter: str) -> float:
+        weight = float(self.weights.get(submitter, 1.0))
+        return weight if weight > 0 else 1.0
+
+    def _settle_from_cache(self, record: JobRecord) -> None:
+        tasks = 0
+        try:
+            tasks = int(self.cache.marker(record.scenario_hash).get("tasks", 0))
+        except (OSError, ValueError):
+            pass
+        self.db.transition(
+            record.job_id,
+            "done",
+            deduplicated=True,
+            progress_done=tasks,
+            progress_total=tasks,
+        )
+
+    def _add_primary(
+        self, record: JobRecord, cost: float, *, front: bool = False
+    ) -> None:
+        """Register *record* as a run's primary and enqueue it for claiming."""
+        self._runs[record.scenario_hash] = _Run(
+            record.scenario_hash, record.job_id, cost
+        )
+        fifo = self._fifos.setdefault(record.submitter, deque())
+        if not fifo:
+            # (Re-)activating submitter: start at the global clock so idle
+            # time earns no backlog of scheduling credit.
+            self._virtual[record.submitter] = max(
+                self._virtual.get(record.submitter, 0.0), self._clock
+            )
+        if front:
+            fifo.appendleft(record.job_id)
+        else:
+            fifo.append(record.job_id)
+
+    def _promote(self, run: _Run) -> None:
+        """Hand a run whose primary went away to its oldest follower."""
+        new_id = run.followers.pop(0)
+        record = self.db.get(new_id)
+        self._runs.pop(run.scenario_hash, None)
+        record.attached_to = None
+        record.deduplicated = False
+        self.db.save(record)
+        new_run = _Run(run.scenario_hash, new_id, run.cost)
+        new_run.followers = run.followers
+        self._runs[run.scenario_hash] = new_run
+        fifo = self._fifos.setdefault(record.submitter, deque())
+        if not fifo:
+            self._virtual[record.submitter] = max(
+                self._virtual.get(record.submitter, 0.0), self._clock
+            )
+        fifo.appendleft(new_id)
+
+    def _settle_followers(
+        self, run: _Run, state: str, done: int = 0, total: int = 0, **fields
+    ) -> None:
+        for follower_id in run.followers:
+            follower = self.db.get(follower_id)
+            if follower.terminal:
+                continue
+            # The progress tap mirrors counters to followers as the run
+            # advances; the settle only ever raises them (a follower that
+            # attached after the last tick inherits the final totals).
+            self.db.transition(
+                follower_id,
+                state,
+                progress_done=max(follower.progress_done, done),
+                progress_total=max(follower.progress_total, total),
+                **fields,
+            )
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, scenario, submitter: str, *, cost: Optional[float] = None) -> JobRecord:
+        """Create, dedupe, and (if novel) enqueue one job for *scenario*.
+
+        Returns the journaled record, which is already terminal (``done``,
+        ``deduplicated``) for a sealed-cache hit, a queued follower for a
+        live-run hit, or a queued primary otherwise.  *scenario* needs
+        ``content_hash()``, ``to_dict()`` and (for fresh submissions) the
+        fields :func:`estimate_scenario_cost` reads — the real
+        :class:`~repro.scenario.model.Scenario`, or a stub in tests.
+        """
+        with self._lock:
+            scenario_hash = scenario.content_hash()
+            record = self.db.create(
+                scenario.to_dict(),
+                scenario_hash,
+                submitter,
+                scenario_name=getattr(scenario, "name", ""),
+            )
+            if self.cache is not None and self.cache.lookup(scenario_hash):
+                self._settle_from_cache(record)
+                return record
+            run = self._runs.get(scenario_hash)
+            if run is not None:
+                # Coalesce: one engine run, one more interested party.  A
+                # pending cooperative abort is withdrawn — someone wants
+                # the result again (if the tap already fired, `aborted`
+                # re-enqueues via promotion, so the job is still served).
+                run.cancel_requested = False
+                run.followers.append(record.job_id)
+                return self.db.transition(
+                    record.job_id,
+                    "queued",
+                    deduplicated=True,
+                    attached_to=run.primary_id,
+                )
+            job_cost = float(self.cost_fn(scenario) if cost is None else cost)
+            self.db.transition(record.job_id, "queued", cost=job_cost)
+            self._add_primary(record, job_cost)
+            return record
+
+    # -- scheduling --------------------------------------------------------
+
+    def claim(self) -> Optional[JobRecord]:
+        """Pop the fairest next job and mark it ``running``.
+
+        Serves the active submitter with the smallest virtual clock
+        (ties break on submitter name for determinism), charges that
+        clock ``cost / weight``, and bumps the record's attempt counter
+        in the same journal write as the transition.  ``None`` when no
+        job is pending.
+        """
+        with self._lock:
+            active = [(s, fifo) for s, fifo in self._fifos.items() if fifo]
+            if not active:
+                return None
+            submitter = min(
+                active, key=lambda item: (self._virtual.get(item[0], 0.0), item[0])
+            )[0]
+            job_id = self._fifos[submitter].popleft()
+            record = self.db.get(job_id)
+            cost = record.cost or 1.0
+            self._clock = self._virtual.get(submitter, 0.0)
+            self._virtual[submitter] = self._clock + cost / self._weight(submitter)
+            return self.db.transition(
+                job_id, "running", attempts=record.attempts + 1
+            )
+
+    def pending(self) -> int:
+        """Number of jobs waiting to be claimed."""
+        with self._lock:
+            return sum(len(fifo) for fifo in self._fifos.values())
+
+    # -- progress / cancellation -------------------------------------------
+
+    def progress(self, job_id: str, done: int, total: int) -> None:
+        """Journal per-task progress for a run and all its followers.
+
+        Called from the engine's progress tap.  Raises
+        :class:`JobCancelled` when a cooperative abort is pending — after
+        the current task's result is already in the (resumable) store.
+        """
+        with self._lock:
+            record = self.db.get(job_id)
+            run = self._runs.get(record.scenario_hash)
+            targets = [job_id]
+            if run is not None:
+                targets = [run.primary_id] + run.followers
+            for target in targets:
+                target_record = self.db.get(target)
+                if not target_record.terminal:
+                    self.db.update_progress(target, done, total)
+            if run is not None and run.cancel_requested:
+                raise JobCancelled(f"job {job_id} cancelled")
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel one job; ``True`` if its record ended ``cancelled``.
+
+        Terminal jobs are left untouched (``False`` unless they were
+        already cancelled).  Followers detach without disturbing the run;
+        a queued or running primary with followers hands the run to the
+        oldest follower; the last interested party requests a cooperative
+        abort (honoured at the next progress tick for a running job,
+        immediate for a queued one).
+        """
+        with self._lock:
+            record = self.db.get(job_id)
+            if record.terminal:
+                return record.state == "cancelled"
+            run = self._runs.get(record.scenario_hash)
+            if run is None or (
+                job_id != run.primary_id and job_id not in run.followers
+            ):
+                self.db.transition(job_id, "cancelled")
+                return True
+            if job_id in run.followers:
+                run.followers.remove(job_id)
+                self.db.transition(job_id, "cancelled")
+                return True
+            # Primary.  Queued: pull it out of its FIFO (the charge was
+            # never levied).  Running: the worker holds it; the engine is
+            # aborted cooperatively only if no follower still wants the
+            # result.
+            if record.state == "queued":
+                fifo = self._fifos.get(record.submitter)
+                if fifo is not None and job_id in fifo:
+                    fifo.remove(job_id)
+                self.db.transition(job_id, "cancelled")
+                if run.followers:
+                    self._promote(run)
+                else:
+                    self._runs.pop(record.scenario_hash, None)
+                return True
+            self.db.transition(job_id, "cancelled")
+            if not run.followers:
+                run.cancel_requested = True
+            return True
+
+    def aborted(self, job_id: str) -> None:
+        """Acknowledge a cooperative abort (:class:`JobCancelled` caught).
+
+        Clears the run; if followers attached between the abort request
+        and the engine actually stopping, the run is promoted and
+        requeued — those jobs are still owed a result.
+        """
+        with self._lock:
+            record = self.db.get(job_id)
+            run = self._runs.pop(record.scenario_hash, None)
+            if not record.terminal:
+                # Abort raced a cancel that never landed; be consistent.
+                self.db.transition(job_id, "cancelled")
+            if run is not None and run.followers:
+                self._promote(run)
+
+    # -- settlement --------------------------------------------------------
+
+    def complete(self, job_id: str) -> None:
+        """Settle a finished run: primary and every follower go ``done``.
+
+        A primary cancelled mid-run (while followers kept the engine
+        going) is skipped — it already reached its terminal state — and
+        only the followers settle.
+        """
+        with self._lock:
+            record = self.db.get(job_id)
+            run = self._runs.pop(record.scenario_hash, None)
+            done = record.progress_done
+            total = record.progress_total
+            if not record.terminal:
+                self.db.transition(job_id, "done")
+            if run is not None:
+                self._settle_followers(run, "done", done=done, total=total)
+
+    def death(self, job_id: str, error: str) -> JobRecord:
+        """A worker died (or raised) holding *job_id*: requeue or fail.
+
+        Under ``max_attempts`` the job returns to the *front* of its
+        submitter's FIFO with the fairness charge refunded (the work was
+        not delivered; the resumable store means the retry only pays for
+        the un-persisted tail).  At the attempt limit the job — and every
+        follower — fails terminally with *error* on the record.
+        """
+        with self._lock:
+            record = self.db.get(job_id)
+            run = self._runs.get(record.scenario_hash)
+            if record.terminal:
+                # Cancelled mid-run and then the worker died: nothing to
+                # requeue unless followers still want the result.
+                self._runs.pop(record.scenario_hash, None)
+                if run is not None and run.followers:
+                    self._promote(run)
+                return record
+            cost = record.cost or (run.cost if run else 1.0)
+            weight = self._weight(record.submitter)
+            self._virtual[record.submitter] = max(
+                0.0, self._virtual.get(record.submitter, 0.0) - cost / weight
+            )
+            if record.attempts >= self.max_attempts:
+                self._runs.pop(record.scenario_hash, None)
+                failed = self.db.transition(job_id, "failed", error=error)
+                if run is not None:
+                    self._settle_followers(run, "failed", error=error)
+                return failed
+            requeued = self.db.transition(job_id, "queued", error=error)
+            if run is None:
+                self._add_primary(record, cost, front=True)
+            else:
+                run.cancel_requested = False
+                fifo = self._fifos.setdefault(record.submitter, deque())
+                if not fifo:
+                    self._virtual[record.submitter] = max(
+                        self._virtual.get(record.submitter, 0.0), self._clock
+                    )
+                fifo.appendleft(job_id)
+            return requeued
+
+    def fail(self, job_id: str, error: str) -> None:
+        """Terminal failure: the job and every follower go ``failed``."""
+        with self._lock:
+            record = self.db.get(job_id)
+            run = self._runs.pop(record.scenario_hash, None)
+            if not record.terminal:
+                self.db.transition(job_id, "failed", error=error)
+            if run is not None:
+                self._settle_followers(run, "failed", error=error)

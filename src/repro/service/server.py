@@ -1,0 +1,327 @@
+"""The long-lived simulation server: accept loop, worker pool, job engine.
+
+:class:`SimulationService` composes the service pieces — durable
+:class:`~repro.service.jobs.JobDB`, fair-share
+:class:`~repro.service.queue.JobQueue`, content-addressed
+:class:`~repro.service.cache.ResultCache` — behind the engine's
+authenticated length-prefixed-frame protocol
+(:mod:`repro.engine.backends.socket`), so submissions get HMAC frame auth
+and negotiated payload encryption (AES-GCM / HMAC-CTR) with zero new wire
+code: the server side of each connection is one :func:`accept_peer`
+handshake plus a request/response loop of ``send_msg``/``recv_msg``.
+
+Simulation happens on a pool of in-process worker threads.  Each worker
+claims the fairest queued job, runs it through :func:`simulate_job` with a
+progress tap that journals per-task completions (and honours cooperative
+cancellation), then seals the run's store into the cache and settles the
+job — plus every follower that coalesced onto it — as ``done``.  A worker
+that dies mid-job (any exception escaping the engine) reports
+:meth:`JobQueue.death`: the job requeues at the front of its submitter's
+FIFO and the next attempt *resumes* the same store, completing
+bit-identical to an uninterrupted run.
+
+``simulate_job`` is deliberately a module-level function: tests
+monkeypatch it to count engine invocations, which is how "a cache hit
+never touches the engine" is asserted rather than assumed.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..common.errors import ReproError, ServiceError
+from ..engine.backends.socket import accept_peer, recv_msg, send_msg
+from ..scenario.model import Scenario
+from ..scenario.run import EngineOptions, ScenarioExecution
+from .cache import ResultCache
+from .jobs import JobDB
+from .queue import JobCancelled, JobQueue
+
+__all__ = [
+    "SimulationService",
+    "simulate_job",
+    "SERVICE_BANNER",
+    "DEFAULT_SERVICE_PORT",
+]
+
+#: Stamped into the welcome frame so a job client that accidentally dials
+#: a sweep coordinator (or vice versa) fails with a clear message.
+SERVICE_BANNER = "repro-job-service"
+
+#: Default listen/connect port for ``repro serve`` / ``repro job``.
+DEFAULT_SERVICE_PORT = 7781
+
+
+def simulate_job(
+    scenario: Scenario,
+    store_path: str | Path,
+    *,
+    progress=None,
+    jobs: int = 0,
+    sim_core: Optional[str] = None,
+    trace_cache: Optional[str] = None,
+) -> int:
+    """Run one scenario into *store_path* (resuming any partial store).
+
+    Returns the expanded task count.  This is the service's single entry
+    into the engine; the ``resume=True`` is what makes worker-death
+    recovery cheap and bit-identical — a requeued job recomputes only the
+    tasks its previous attempt did not persist.
+    """
+    options = EngineOptions(
+        jobs=jobs,
+        store=str(store_path),
+        resume=True,
+        sim_core=sim_core,
+        trace_cache=trace_cache,
+    )
+    execution = ScenarioExecution(scenario, options)
+    execution.runner.progress = progress
+    execution.run()
+    return execution.runner.tasks_total
+
+
+class SimulationService:
+    """Submit/status/result/cancel job server over the engine protocol.
+
+    ``start()`` binds the listener and spawns the accept thread plus
+    ``workers`` simulation threads; ``stop()`` (or the context manager)
+    shuts both down.  ``port`` may be 0 to let the OS pick — the bound
+    port is on :attr:`port` after ``start()``.  All state lives under
+    *root*: ``jobs/`` (the journal) and ``cache/`` (one result store per
+    scenario hash), so restarting a server over the same root recovers
+    every job and keeps every sealed result.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        secret: str | bytes | None = None,
+        workers: int = 1,
+        jobs: int = 0,
+        sim_core: Optional[str] = None,
+        trace_cache: Optional[str] = None,
+        weights: Optional[Dict[str, float]] = None,
+        max_attempts: int = 3,
+        sync: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError("workers must be >= 1")
+        self.root = Path(root)
+        self.host = host
+        self.port = port
+        self.secret = secret
+        self.jobs = jobs
+        self.sim_core = sim_core
+        self.trace_cache = trace_cache
+        self.workers = workers
+        self.db = JobDB(self.root, sync=sync)
+        self.cache = ResultCache(self.root / "cache", sync=sync)
+        self.queue = JobQueue(
+            self.db, self.cache, weights=weights, max_attempts=max_attempts
+        )
+        self._listener: Optional[socket.socket] = None
+        self._threads: list = []
+        self._stop = threading.Event()
+        self._work = threading.Condition()
+        #: Engine invocations this server performed (not cache/dedupe
+        #: answers) — surfaced in ``list`` responses and smoke checks.
+        self.engine_runs = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SimulationService":
+        """Bind, listen, and spawn the accept + worker threads."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        # Closing a listener does not reliably wake a thread blocked in
+        # accept(); a short timeout lets the accept loop poll _stop.
+        listener.settimeout(0.2)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        self._stop.clear()
+        accept = threading.Thread(
+            target=self._accept_loop, name="service-accept", daemon=True
+        )
+        accept.start()
+        self._threads = [accept]
+        for index in range(self.workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"service-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, wake the workers, and join every thread."""
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        with self._work:
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads = []
+
+    def __enter__(self) -> "SimulationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Block until interrupted (the ``repro serve`` foreground path)."""
+        try:
+            while not self._stop.is_set():
+                self._stop.wait(0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # -- worker pool -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            record = self.queue.claim()
+            if record is None:
+                with self._work:
+                    self._work.wait(timeout=0.1)
+                continue
+            self._execute(record)
+
+    def _execute(self, record) -> None:
+        job_id = record.job_id
+
+        def tap(task_id: str, done: int, total: int) -> None:
+            self.queue.progress(job_id, done, total)
+
+        try:
+            scenario = Scenario.from_dict(record.scenario)
+            self.engine_runs += 1
+            tasks = simulate_job(
+                scenario,
+                self.cache.store_path(record.scenario_hash),
+                progress=tap,
+                jobs=self.jobs,
+                sim_core=self.sim_core,
+                trace_cache=self.trace_cache,
+            )
+            self.cache.seal(
+                record.scenario_hash,
+                extra={"tasks": tasks, "scenario_name": record.scenario_name},
+            )
+        except JobCancelled:
+            self.queue.aborted(job_id)
+            return
+        except Exception as exc:  # worker death: requeue (or fail at limit)
+            self.queue.death(job_id, f"{type(exc).__name__}: {exc}")
+            with self._work:
+                self._work.notify_all()
+            return
+        self.queue.complete(job_id)
+
+    # -- protocol ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            conn.settimeout(None)
+            handler = threading.Thread(
+                target=self._serve_client, args=(conn,), daemon=True
+            )
+            handler.start()
+
+    def _serve_client(self, conn: socket.socket) -> None:
+        try:
+            accepted = accept_peer(
+                conn, self.secret, welcome_extra={"service": SERVICE_BANNER}
+            )
+            if accepted is None:
+                return  # wrong secret / stale protocol / EOF probe: dropped
+            _hello, cipher = accepted
+            while not self._stop.is_set():
+                try:
+                    request = recv_msg(conn, self.secret, cipher=cipher)
+                except ReproError:
+                    return  # garbled or downgraded frame: drop the client
+                if request is None:
+                    return  # client hung up
+                response = self._handle(request)
+                send_msg(conn, response, self.secret, cipher=cipher)
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle(self, request: dict) -> dict:
+        """Dispatch one request dict to the job layer; never raises."""
+        try:
+            op = request.get("op")
+            if op == "submit":
+                return self._handle_submit(request)
+            if op == "status":
+                return {"ok": True, "job": self.db.get(str(request.get("job_id"))).to_dict()}
+            if op == "result":
+                return self._handle_result(request)
+            if op == "cancel":
+                job_id = str(request.get("job_id"))
+                cancelled = self.queue.cancel(job_id)
+                return {
+                    "ok": True,
+                    "cancelled": cancelled,
+                    "job": self.db.get(job_id).to_dict(),
+                }
+            if op == "list":
+                return {
+                    "ok": True,
+                    "jobs": [record.to_dict() for record in self.db.list_jobs()],
+                    "engine_runs": self.engine_runs,
+                }
+            return {"ok": False, "error": f"unknown service op {op!r}"}
+        except (ReproError, OSError) as exc:
+            return {"ok": False, "error": str(exc)}
+
+    def _handle_submit(self, request: dict) -> dict:
+        payload = request.get("scenario")
+        if not isinstance(payload, dict):
+            raise ServiceError("submit request carries no scenario payload")
+        # Validate upfront: a malformed scenario is rejected here, at
+        # submission time, not discovered by a worker mid-queue.
+        scenario = Scenario.from_dict(payload)
+        submitter = str(request.get("submitter") or "anonymous")
+        record = self.queue.submit(scenario, submitter)
+        with self._work:
+            self._work.notify_all()
+        return {"ok": True, "job": record.to_dict()}
+
+    def _handle_result(self, request: dict) -> dict:
+        record = self.db.get(str(request.get("job_id")))
+        if record.state != "done":
+            raise ServiceError(
+                f"job {record.job_id} is {record.state}, not done; "
+                "poll status until it completes"
+            )
+        payloads = self.cache.payloads(record.scenario_hash)
+        return {"ok": True, "job": record.to_dict(), "payloads": payloads}

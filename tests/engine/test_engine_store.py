@@ -404,3 +404,74 @@ class TestRunnerValidation:
         ParallelRunner(tiny_config(), plan_a, schemes=["l2p"], jobs=0, store=store).run([mix])
         with pytest.raises(EngineError):
             ParallelRunner(tiny_config(), plan_b, schemes=["l2p"], jobs=0, store=store).run([mix])
+
+
+class TestProgressTap:
+    """The per-task progress callback the job service journals through."""
+
+    PLAN = RunPlan(n_accesses=1_000, target_instructions=10_000,
+                   warmup_instructions=0, seed=3, cc_probs=(0.0,))
+
+    def runner(self, store, ticks, *, schemes=("l2p", "l2s"), resume=False,
+               tap=None):
+        def default_tap(task_id, done, total):
+            ticks.append((task_id, done, total))
+
+        return ParallelRunner(
+            tiny_config(), self.PLAN, schemes=list(schemes), jobs=0,
+            store=store, resume=resume, progress=tap or default_tap,
+        )
+
+    def test_one_tick_per_task_monotonic(self, tmp_path):
+        ticks = []
+        runner = self.runner(str(tmp_path / "s"), ticks)
+        runner.run([get_mix("c1_0")])
+        assert len(ticks) == runner.tasks_total == 2  # one mix x two schemes
+        assert [done for _tid, done, _tot in ticks] == list(
+            range(1, runner.tasks_total + 1)
+        )
+        assert {tot for _tid, _done, tot in ticks} == {runner.tasks_total}
+        assert sorted(tid for tid, _done, _tot in ticks) == [
+            "c1_0__l2p", "c1_0__l2s",
+        ]
+
+    def test_resumed_tasks_tick_before_fresh_ones(self, tmp_path):
+        store = str(tmp_path / "s")
+
+        class Abort(Exception):
+            pass
+
+        first_tick = []
+
+        def die_after_first(task_id, done, total):
+            first_tick.append(task_id)
+            raise Abort(task_id)
+
+        with pytest.raises(Abort):
+            self.runner(store, [], tap=die_after_first).run([get_mix("c1_0")])
+        ticks = []
+        resumed = self.runner(store, ticks, resume=True)
+        resumed.run([get_mix("c1_0")])
+        assert len(ticks) == resumed.tasks_total
+        assert resumed.tasks_resumed == 1
+        # The journaled task replays as tick #1, before any fresh compute.
+        assert ticks[0][0] == first_tick[0]
+
+    def test_raising_tap_aborts_after_current_result_is_stored(self, tmp_path):
+        store = str(tmp_path / "s")
+
+        class Abort(Exception):
+            pass
+
+        def lethal(task_id, done, total):
+            raise Abort(task_id)
+
+        with pytest.raises(Abort):
+            self.runner(store, [], tap=lethal).run([get_mix("c1_0")])
+        # The result that triggered the tick is already durable: the rerun
+        # resumes it instead of recomputing.
+        ticks = []
+        rerun = self.runner(store, ticks, resume=True)
+        rerun.run([get_mix("c1_0")])
+        assert rerun.tasks_resumed >= 1
+        assert len(ticks) == rerun.tasks_total

@@ -1,0 +1,89 @@
+"""Pinned ``content_hash()`` of every bundled scenario preset.
+
+``tests/data/golden_scenario_hashes.json`` freezes the content hash of
+each preset under ``src/repro/scenario/presets/`` (grids pin one hash per
+expanded scenario).  These hashes are **load-bearing identity**: the job
+service coalesces concurrent submissions and serves its result cache by
+them, resumable stores are keyed by them, and two builds that disagree on
+a preset's hash will silently stop sharing work.  A diff here means the
+scenario serialization or hashing contract changed — every sealed cache
+entry and every cross-version dedupe is invalidated.
+
+If the change is intentional (a new resolved field, a schema migration),
+bump the goldens **intentionally, in their own commit, with the semantic
+change spelled out in the message** — never as a drive-by::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from pathlib import Path
+    from repro.scenario import load_scenario_file, preset_names
+    from repro.scenario.grid import ScenarioGrid
+    out = {}
+    for name in preset_names():
+        loaded = load_scenario_file(name)
+        if isinstance(loaded, ScenarioGrid):
+            out[name] = {s.name: s.content_hash() for s in loaded.expand()}
+        else:
+            out[name] = loaded.content_hash()
+    path = Path("tests/data/golden_scenario_hashes.json")
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import load_scenario_file, preset_names
+from repro.scenario.grid import ScenarioGrid
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+GOLDEN = json.loads((DATA_DIR / "golden_scenario_hashes.json").read_text())
+
+DRIFT_MESSAGE = (
+    "content_hash() drifted from tests/data/golden_scenario_hashes.json. "
+    "This invalidates every service cache entry and cross-run dedupe. If "
+    "the hash change is intentional, bump the golden intentionally (see "
+    "this module's docstring for the regeneration recipe) in a commit "
+    "explaining the semantic change."
+)
+
+
+def test_golden_covers_every_bundled_preset():
+    """A new preset must be pinned the moment it ships."""
+    assert sorted(GOLDEN) == preset_names(), (
+        "preset list drifted from the golden file; regenerate it (see "
+        "module docstring) so every bundled preset stays pinned"
+    )
+
+
+@pytest.mark.parametrize("preset", sorted(GOLDEN))
+def test_preset_content_hash_is_pinned(preset):
+    loaded = load_scenario_file(preset)
+    expected = GOLDEN[preset]
+    if isinstance(loaded, ScenarioGrid):
+        assert isinstance(expected, dict), DRIFT_MESSAGE
+        actual = {s.name: s.content_hash() for s in loaded.expand()}
+    else:
+        actual = loaded.content_hash()
+    assert actual == expected, DRIFT_MESSAGE
+
+
+@pytest.mark.parametrize("preset", sorted(GOLDEN))
+def test_hash_survives_serde_round_trip(preset):
+    """to_dict()/from_dict() must preserve identity, or the service would
+    hash a submitted scenario differently from the file it came from."""
+    loaded = load_scenario_file(preset)
+    scenarios = loaded.expand() if isinstance(loaded, ScenarioGrid) else [loaded]
+    for scenario in scenarios:
+        clone = type(scenario).from_dict(scenario.to_dict())
+        assert clone.content_hash() == scenario.content_hash()
+
+
+def test_names_are_cosmetic():
+    """Renaming a scenario must not change its identity hash."""
+    loaded = load_scenario_file("smoke-tiny")
+    renamed = type(loaded).from_dict({**loaded.to_dict(), "name": "other-name"})
+    assert renamed.content_hash() == loaded.content_hash()

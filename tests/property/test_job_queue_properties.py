@@ -1,0 +1,263 @@
+"""Property suite for the service job queue (:mod:`repro.service.queue`).
+
+Hypothesis drives arbitrary interleavings of ``submit`` / ``claim`` /
+``finish`` / ``death`` / ``cancel`` / crash-restart against a real
+:class:`JobQueue` over a real on-disk :class:`JobDB` (a fake cache stands
+in for the result store) and checks the contracts the service rests on:
+
+* every job reaches a **terminal state exactly once** — the journal
+  history contains at most one of ``done``/``failed``/``cancelled``, and
+  only as its final entry;
+* duplicate-hash submissions **never run the engine twice**: a sealed
+  hash is never claimed again, and each hash seals at most once;
+* **no submitter starves** under stride fair-share: active submitters'
+  virtual clocks never diverge by more than one maximal stride, so every
+  tenant's turn always arrives.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import TERMINAL_STATES, JobDB, JobQueue
+from repro.service.queue import JobCancelled
+
+SUBMITTERS = ["alice", "bob", "carol"]
+
+
+class FakeScenario:
+    """Hashable stand-in: dedupe only needs content_hash/to_dict/name."""
+
+    def __init__(self, content: int) -> None:
+        self.content = content
+        self.name = f"scenario-{content}"
+
+    def content_hash(self) -> str:
+        return f"hash-{self.content:04d}"
+
+    def to_dict(self) -> dict:
+        return {"content": self.content}
+
+
+class FakeCache:
+    """In-memory sealed-marker store mimicking :class:`ResultCache`."""
+
+    def __init__(self) -> None:
+        self.sealed: dict = {}
+        self.seal_calls: dict = {}
+
+    def lookup(self, scenario_hash: str):
+        return scenario_hash if scenario_hash in self.sealed else None
+
+    def marker(self, scenario_hash: str) -> dict:
+        return self.sealed[scenario_hash]
+
+    def seal(self, scenario_hash: str) -> None:
+        self.seal_calls[scenario_hash] = self.seal_calls.get(scenario_hash, 0) + 1
+        self.sealed[scenario_hash] = {"tasks": 1}
+
+
+def finish(queue: JobQueue, cache: FakeCache, record) -> None:
+    """What a worker does after the engine returns (or the tap aborts)."""
+    try:
+        queue.progress(record.job_id, 1, 1)
+    except JobCancelled:
+        queue.aborted(record.job_id)
+        return
+    cache.seal(record.scenario_hash)
+    queue.complete(record.job_id)
+
+
+def check_terminal_exactly_once(db: JobDB) -> None:
+    for record in db.list_jobs():
+        terminal_entries = [s for s in record.history if s in TERMINAL_STATES]
+        assert len(terminal_entries) <= 1, record.history
+        if terminal_entries:
+            assert record.terminal
+            assert record.history[-1] == terminal_entries[0] == record.state
+
+
+def check_one_primary_per_hash(db: JobDB) -> None:
+    primaries: dict = {}
+    for record in db.list_jobs():
+        if record.terminal or record.deduplicated:
+            continue
+        primaries.setdefault(record.scenario_hash, []).append(record.job_id)
+    for scenario_hash, ids in primaries.items():
+        assert len(ids) == 1, (scenario_hash, ids)
+
+
+class TestInterleavings:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_lifecycle_invariants_under_arbitrary_interleavings(self, data):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            db = JobDB(root, sync=False)
+            cache = FakeCache()
+            queue = JobQueue(db, cache, cost_fn=lambda s: 1.0, max_attempts=3)
+            running: dict = {}
+            known: list = []
+
+            n_ops = data.draw(st.integers(1, 40), label="n_ops")
+            for _ in range(n_ops):
+                ops = ["submit"]
+                if queue.pending():
+                    ops.append("claim")
+                if running:
+                    ops += ["finish", "death"]
+                if known:
+                    ops += ["cancel", "crash"]
+                op = data.draw(st.sampled_from(ops), label="op")
+
+                if op == "submit":
+                    scenario = FakeScenario(data.draw(st.integers(0, 4), label="content"))
+                    submitter = data.draw(st.sampled_from(SUBMITTERS), label="submitter")
+                    record = queue.submit(scenario, submitter)
+                    known.append(record.job_id)
+                elif op == "claim":
+                    record = queue.claim()
+                    assert record is not None
+                    # A sealed hash must never reach a worker again.
+                    assert cache.lookup(record.scenario_hash) is None
+                    running[record.job_id] = record
+                elif op == "finish":
+                    job_id = data.draw(st.sampled_from(sorted(running)), label="finish")
+                    finish(queue, cache, running.pop(job_id))
+                elif op == "death":
+                    job_id = data.draw(st.sampled_from(sorted(running)), label="death")
+                    queue.death(job_id, "worker died")
+                    del running[job_id]
+                elif op == "cancel":
+                    job_id = data.draw(st.sampled_from(sorted(known)), label="cancel")
+                    cancelled = queue.cancel(job_id)
+                    assert cancelled == (db.get(job_id).state == "cancelled")
+                else:  # crash: server process dies and restarts over the root
+                    db = JobDB(root, sync=False)
+                    queue = JobQueue(db, cache, cost_fn=lambda s: 1.0, max_attempts=3)
+                    running.clear()
+
+                check_terminal_exactly_once(db)
+                check_one_primary_per_hash(db)
+
+            # Drain: claim and finish everything still in flight.
+            for _ in range(10 * (len(known) + 1)):
+                for job_id in sorted(running):
+                    finish(queue, cache, running.pop(job_id))
+                record = queue.claim()
+                if record is None:
+                    break
+                assert cache.lookup(record.scenario_hash) is None
+                running[record.job_id] = record
+            assert not running and queue.pending() == 0
+
+            check_terminal_exactly_once(db)
+            for record in db.list_jobs():
+                assert record.terminal, record.to_dict()
+                if record.state == "done":
+                    assert record.scenario_hash in cache.sealed
+            # A hash seals at most once, ever — coalescing plus the cache
+            # guarantee one engine completion per distinct scenario.
+            assert all(count == 1 for count in cache.seal_calls.values())
+
+
+class TestDedupe:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_duplicate_hashes_claim_the_engine_exactly_once(self, data):
+        """Without cancels or deaths: one claim per distinct content hash."""
+        with tempfile.TemporaryDirectory() as tmp:
+            db = JobDB(Path(tmp), sync=False)
+            cache = FakeCache()
+            queue = JobQueue(db, cache, cost_fn=lambda s: 1.0)
+            contents: set = set()
+            claims: list = []
+            running: dict = {}
+
+            n_ops = data.draw(st.integers(1, 30), label="n_ops")
+            for _ in range(n_ops):
+                if data.draw(st.booleans(), label="submit_or_step"):
+                    content = data.draw(st.integers(0, 3), label="content")
+                    submitter = data.draw(st.sampled_from(SUBMITTERS), label="who")
+                    queue.submit(FakeScenario(content), submitter)
+                    contents.add(content)
+                else:
+                    record = queue.claim()
+                    if record is not None:
+                        claims.append(record.scenario_hash)
+                        running[record.job_id] = record
+                    for job_id in sorted(running):
+                        finish(queue, cache, running.pop(job_id))
+
+            while True:
+                record = queue.claim()
+                if record is None:
+                    break
+                claims.append(record.scenario_hash)
+                finish(queue, cache, record)
+
+            assert len(claims) == len(set(claims)) == len(contents)
+            for record in db.list_jobs():
+                assert record.state == "done"
+            check_terminal_exactly_once(db)
+
+
+class TestFairShare:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_active_clocks_stay_within_one_stride(self, data):
+        """Stride bound ⇒ no starvation: every active tenant's clock is
+        always within one maximal stride of the minimum, so its turn comes
+        after a bounded number of claims no matter what others submit."""
+        with tempfile.TemporaryDirectory() as tmp:
+            db = JobDB(Path(tmp), sync=False)
+            names = SUBMITTERS[: data.draw(st.integers(2, 3), label="n_submitters")]
+            weights = {
+                name: data.draw(
+                    st.floats(0.5, 4.0, allow_nan=False), label=f"w_{name}"
+                )
+                for name in names
+            }
+            costs: dict = {}
+            queue = JobQueue(
+                db,
+                None,
+                weights=weights,
+                cost_fn=lambda s: costs[s.content_hash()],
+            )
+
+            content = 0
+            expected = 0
+            for name in names:
+                for _ in range(data.draw(st.integers(1, 5), label=f"jobs_{name}")):
+                    scenario = FakeScenario(content)
+                    content += 1
+                    costs[scenario.content_hash()] = data.draw(
+                        st.floats(0.5, 8.0, allow_nan=False), label="cost"
+                    )
+                    queue.submit(scenario, name)
+                    expected += 1
+
+            max_stride = max(
+                cost / queue._weight(name)
+                for name in names
+                for cost in costs.values()
+            )
+            served = 0
+            while True:
+                record = queue.claim()
+                if record is None:
+                    break
+                served += 1
+                queue.complete(record.job_id)
+                active = [n for n in names if queue._fifos.get(n)]
+                if len(active) > 1:
+                    clocks = [queue._virtual.get(n, 0.0) for n in active]
+                    assert max(clocks) - min(clocks) <= max_stride + 1e-9
+            assert served == expected
+            for name in names:
+                assert not queue._fifos.get(name)

@@ -1,0 +1,152 @@
+"""Unit tests for the durable job database (:mod:`repro.service.jobs`).
+
+The journal is the service's source of truth, so these tests pin the three
+properties everything else leans on: the lifecycle state machine admits
+exactly the documented edges (terminal exactly once), every mutation is a
+complete atomic on-disk snapshot, and reopening a database recovers
+interrupted jobs to ``queued`` without touching terminal ones.
+"""
+
+import json
+
+import pytest
+
+from repro.common.errors import ServiceError
+from repro.service.jobs import JOB_STATES, TERMINAL_STATES, JobDB, JobRecord
+
+
+def _db(tmp_path, **kwargs):
+    kwargs.setdefault("sync", False)
+    return JobDB(tmp_path / "svc", **kwargs)
+
+
+def _submit(db, *, submitter="alice", scenario_hash="h1"):
+    return db.create({"name": "s"}, scenario_hash, submitter, scenario_name="s")
+
+
+class TestJobRecordStateMachine:
+    def test_happy_path(self):
+        record = JobRecord("job-000001", "h", {}, "alice")
+        for state in ("queued", "running", "done"):
+            record.transition(state)
+        assert record.terminal
+        assert record.history == ["submitted", "queued", "running", "done"]
+
+    def test_requeue_edge(self):
+        record = JobRecord("job-000001", "h", {}, "alice")
+        record.transition("queued")
+        record.transition("running")
+        record.transition("queued")  # worker death requeue
+        record.transition("running")
+        record.transition("done")
+        assert record.state == "done"
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES))
+    def test_terminal_exactly_once(self, terminal):
+        record = JobRecord("job-000001", "h", {}, "alice")
+        record.transition("queued")
+        record.transition(terminal)
+        for target in JOB_STATES:
+            with pytest.raises(ServiceError):
+                record.transition(target)
+        assert record.state == terminal  # the failed attempts changed nothing
+
+    def test_illegal_edges_rejected(self):
+        record = JobRecord("job-000001", "h", {}, "alice")
+        with pytest.raises(ServiceError):
+            record.transition("running")  # submitted -> running skips queued
+        with pytest.raises(ServiceError):
+            record.transition("submitted")  # no re-entry
+        with pytest.raises(ServiceError):
+            record.transition("sleeping")  # unknown state
+
+    def test_round_trip(self):
+        record = JobRecord("job-000007", "h", {"k": 1}, "bob", cost=3.5)
+        record.transition("queued")
+        clone = JobRecord.from_dict(record.to_dict())
+        assert clone.to_dict() == record.to_dict()
+
+    def test_from_dict_ignores_unknown_fields(self):
+        # Forward compatibility: a newer server's journal must still load.
+        payload = JobRecord("job-000001", "h", {}, "alice").to_dict()
+        payload["future_field"] = "ignored"
+        assert JobRecord.from_dict(payload).job_id == "job-000001"
+
+
+class TestJobDB:
+    def test_create_allocates_sequential_ids(self, tmp_path):
+        db = _db(tmp_path)
+        ids = [_submit(db).job_id for _ in range(3)]
+        assert ids == ["job-000001", "job-000002", "job-000003"]
+
+    def test_get_unknown_id(self, tmp_path):
+        with pytest.raises(ServiceError, match="unknown job id"):
+            _db(tmp_path).get("job-999999")
+
+    def test_transition_journals_fields_atomically(self, tmp_path):
+        db = _db(tmp_path)
+        record = _submit(db)
+        db.transition(record.job_id, "queued", cost=2.0)
+        on_disk = json.loads((db.jobs_dir / f"{record.job_id}.json").read_text())
+        assert on_disk["state"] == "queued"
+        assert on_disk["cost"] == 2.0
+
+    def test_transition_rejects_unknown_field(self, tmp_path):
+        db = _db(tmp_path)
+        record = _submit(db)
+        with pytest.raises(ServiceError, match="no field"):
+            db.transition(record.job_id, "queued", nonsense=1)
+
+    def test_reopen_preserves_records_and_counter(self, tmp_path):
+        db = _db(tmp_path)
+        record = _submit(db)
+        db.transition(record.job_id, "queued")
+        db.transition(record.job_id, "running")
+        db.transition(record.job_id, "done")
+
+        reopened = _db(tmp_path)
+        assert reopened.get(record.job_id).state == "done"
+        assert reopened.create({}, "h2", "bob").job_id == "job-000002"
+
+    def test_reopen_requeues_interrupted_jobs(self, tmp_path):
+        db = _db(tmp_path)
+        running = _submit(db, scenario_hash="h1")
+        db.transition(running.job_id, "queued")
+        db.transition(running.job_id, "running", attempts=1)
+        submitted = _submit(db, scenario_hash="h2")
+        done = _submit(db, scenario_hash="h3")
+        db.transition(done.job_id, "queued")
+        db.transition(done.job_id, "running")
+        db.transition(done.job_id, "done")
+
+        recovered = _db(tmp_path)
+        assert sorted(recovered.recovered) == [running.job_id, submitted.job_id]
+        assert recovered.get(running.job_id).state == "queued"
+        assert recovered.get(running.job_id).attempts == 1  # history survives
+        assert recovered.get(submitted.job_id).state == "queued"
+        assert recovered.get(done.job_id).state == "done"
+        # The requeue is durable, not just in-memory.
+        assert _db(tmp_path).recovered == []
+
+    def test_corrupt_record_fails_loudly(self, tmp_path):
+        db = _db(tmp_path)
+        record = _submit(db)
+        (db.jobs_dir / f"{record.job_id}.json").write_text("{torn")
+        with pytest.raises(ServiceError, match="unreadable job record"):
+            _db(tmp_path)
+
+    def test_update_progress_journals(self, tmp_path):
+        db = _db(tmp_path)
+        record = _submit(db)
+        db.transition(record.job_id, "queued")
+        db.update_progress(record.job_id, 3, 7)
+        reopened = _db(tmp_path)
+        assert reopened.get(record.job_id).progress_done == 3
+        assert reopened.get(record.job_id).progress_total == 7
+
+    def test_by_hash(self, tmp_path):
+        db = _db(tmp_path)
+        a = _submit(db, scenario_hash="h1")
+        _submit(db, scenario_hash="h2")
+        b = _submit(db, scenario_hash="h1", submitter="bob")
+        assert [r.job_id for r in db.by_hash("h1")] == [a.job_id, b.job_id]

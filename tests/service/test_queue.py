@@ -1,0 +1,295 @@
+"""Unit tests for the fair-share queue (:mod:`repro.service.queue`).
+
+Driven entirely with stub scenarios and an injected constant cost
+function, so these tests exercise scheduling, dedupe, cancellation and
+death/requeue semantics without ever running the engine.
+"""
+
+import pytest
+
+from repro.common.errors import ServiceError
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobDB
+from repro.service.queue import JobCancelled, JobQueue
+
+
+class StubScenario:
+    """The duck-typed minimum a queue submission needs."""
+
+    def __init__(self, content, name="stub"):
+        self.content = content
+        self.name = name
+
+    def content_hash(self):
+        return f"hash-{self.content}"
+
+    def to_dict(self):
+        return {"name": self.name, "content": self.content}
+
+
+def make_queue(tmp_path, **kwargs):
+    db = JobDB(tmp_path / "svc", sync=False)
+    kwargs.setdefault("cost_fn", lambda scenario: 1.0)
+    return JobQueue(db, **kwargs), db
+
+
+class TestDedupe:
+    def test_distinct_scenarios_do_not_coalesce(self, tmp_path):
+        queue, _db = make_queue(tmp_path)
+        a = queue.submit(StubScenario("a"), "alice")
+        b = queue.submit(StubScenario("b"), "alice")
+        assert not a.deduplicated and not b.deduplicated
+        assert queue.pending() == 2
+
+    def test_identical_hash_attaches_to_live_run(self, tmp_path):
+        queue, _db = make_queue(tmp_path)
+        primary = queue.submit(StubScenario("a"), "alice")
+        follower = queue.submit(StubScenario("a"), "bob")
+        assert follower.deduplicated
+        assert follower.attached_to == primary.job_id
+        assert queue.pending() == 1  # one run serves both
+
+    def test_follower_attaches_while_running(self, tmp_path):
+        queue, _db = make_queue(tmp_path)
+        primary = queue.submit(StubScenario("a"), "alice")
+        assert queue.claim().job_id == primary.job_id
+        follower = queue.submit(StubScenario("a"), "bob")
+        assert follower.attached_to == primary.job_id
+        assert queue.pending() == 0
+
+    def test_complete_settles_followers(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        primary = queue.submit(StubScenario("a"), "alice")
+        follower = queue.submit(StubScenario("a"), "bob")
+        queue.claim()
+        queue.progress(primary.job_id, 7, 7)
+        queue.complete(primary.job_id)
+        assert db.get(primary.job_id).state == "done"
+        follower_record = db.get(follower.job_id)
+        assert follower_record.state == "done"
+        assert follower_record.progress_done == 7  # progress mirrored
+
+    def test_sealed_cache_hit_never_queues(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", sync=False)
+        cache.store_path("hash-a").mkdir(parents=True)
+        cache.seal("hash-a", extra={"tasks": 7})
+        queue, _db = make_queue(tmp_path, cache=cache)
+        record = queue.submit(StubScenario("a"), "alice")
+        assert record.state == "done"
+        assert record.deduplicated
+        assert record.progress_done == record.progress_total == 7
+        assert queue.pending() == 0
+
+
+class TestFairShare:
+    def test_equal_weights_round_robin(self, tmp_path):
+        queue, _db = make_queue(tmp_path)
+        for index in range(3):
+            queue.submit(StubScenario(f"a{index}"), "alice")
+            queue.submit(StubScenario(f"b{index}"), "bob")
+        order = [queue.claim().submitter for _ in range(6)]
+        assert order == ["alice", "bob"] * 3
+
+    def test_weighted_share(self, tmp_path):
+        queue, _db = make_queue(tmp_path, weights={"alice": 3.0, "bob": 1.0})
+        for index in range(8):
+            queue.submit(StubScenario(f"a{index}"), "alice")
+            queue.submit(StubScenario(f"b{index}"), "bob")
+        first_eight = [queue.claim().submitter for _ in range(8)]
+        # Weight 3 vs 1: alice gets ~3 of every 4 early claims.
+        assert first_eight.count("alice") == 6
+        assert first_eight.count("bob") == 2
+
+    def test_expensive_job_defers_its_submitter(self, tmp_path):
+        queue, _db = make_queue(tmp_path)
+        queue.submit(StubScenario("big"), "alice", cost=10.0)
+        for index in range(3):
+            queue.submit(StubScenario(f"b{index}"), "bob", cost=1.0)
+        assert queue.claim().submitter == "alice"  # clocks tied: name break
+        # Alice's clock advanced by 10; bob's cheap jobs all go first now.
+        assert [queue.claim().submitter for _ in range(3)] == ["bob"] * 3
+
+    def test_idle_tenant_earns_no_credit(self, tmp_path):
+        queue, _db = make_queue(tmp_path)
+        for index in range(4):
+            queue.submit(StubScenario(f"a{index}"), "alice")
+        for _ in range(4):
+            queue.claim()
+        # Bob arrives late: he starts at the current clock, not at zero,
+        # so he cannot monopolize the workers to "catch up".
+        queue.submit(StubScenario("b0"), "bob")
+        queue.submit(StubScenario("a4"), "alice")
+        claimed = {queue.claim().submitter, queue.claim().submitter}
+        assert claimed == {"alice", "bob"}
+
+    def test_claim_empty_queue(self, tmp_path):
+        queue, _db = make_queue(tmp_path)
+        assert queue.claim() is None
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        record = queue.submit(StubScenario("a"), "alice")
+        assert queue.cancel(record.job_id)
+        assert db.get(record.job_id).state == "cancelled"
+        assert queue.claim() is None
+
+    def test_cancel_terminal_job_is_refused(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        record = queue.submit(StubScenario("a"), "alice")
+        queue.claim()
+        queue.complete(record.job_id)
+        assert not queue.cancel(record.job_id)
+        assert db.get(record.job_id).state == "done"
+
+    def test_cancel_follower_detaches_without_stopping_run(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        primary = queue.submit(StubScenario("a"), "alice")
+        follower = queue.submit(StubScenario("a"), "bob")
+        queue.claim()
+        assert queue.cancel(follower.job_id)
+        queue.progress(primary.job_id, 1, 7)  # must NOT raise JobCancelled
+        queue.complete(primary.job_id)
+        assert db.get(primary.job_id).state == "done"
+        assert db.get(follower.job_id).state == "cancelled"
+
+    def test_cancel_running_primary_with_follower_keeps_run(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        primary = queue.submit(StubScenario("a"), "alice")
+        follower = queue.submit(StubScenario("a"), "bob")
+        queue.claim()
+        assert queue.cancel(primary.job_id)
+        assert db.get(primary.job_id).state == "cancelled"
+        queue.progress(primary.job_id, 3, 7)  # follower still wants it
+        queue.complete(primary.job_id)
+        follower_record = db.get(follower.job_id)
+        assert follower_record.state == "done"
+        assert follower_record.progress_done == 3
+
+    def test_cancel_last_party_aborts_via_tap(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        record = queue.submit(StubScenario("a"), "alice")
+        queue.claim()
+        assert queue.cancel(record.job_id)
+        with pytest.raises(JobCancelled):
+            queue.progress(record.job_id, 1, 7)
+        queue.aborted(record.job_id)
+        assert db.get(record.job_id).state == "cancelled"
+
+    def test_cancel_queued_primary_promotes_follower(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        primary = queue.submit(StubScenario("a"), "alice")
+        follower = queue.submit(StubScenario("a"), "bob")
+        assert queue.cancel(primary.job_id)
+        promoted = queue.claim()
+        assert promoted.job_id == follower.job_id
+        assert promoted.attached_to is None  # owns the run now
+        queue.complete(promoted.job_id)
+        assert db.get(follower.job_id).state == "done"
+
+    def test_submit_after_abort_request_revives_run(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        record = queue.submit(StubScenario("a"), "alice")
+        queue.claim()
+        queue.cancel(record.job_id)
+        newcomer = queue.submit(StubScenario("a"), "bob")
+        # The pending abort is withdrawn: the tap keeps feeding progress.
+        queue.progress(record.job_id, 2, 7)
+        queue.complete(record.job_id)
+        assert db.get(newcomer.job_id).state == "done"
+
+
+class TestDeathAndRequeue:
+    def test_death_requeues_at_front(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        first = queue.submit(StubScenario("a"), "alice")
+        queue.submit(StubScenario("b"), "alice")
+        claimed = queue.claim()
+        assert claimed.job_id == first.job_id
+        requeued = queue.death(first.job_id, "worker died")
+        assert requeued.state == "queued"
+        assert requeued.attempts == 1
+        assert requeued.error == "worker died"
+        # Front of the FIFO: the dead job is claimed again before b.
+        assert queue.claim().job_id == first.job_id
+
+    def test_death_fails_at_attempt_limit(self, tmp_path):
+        queue, db = make_queue(tmp_path, max_attempts=2)
+        record = queue.submit(StubScenario("a"), "alice")
+        follower = queue.submit(StubScenario("a"), "bob")
+        for _ in range(2):
+            assert queue.claim().job_id == record.job_id
+            outcome = queue.death(record.job_id, "boom")
+        assert outcome.state == "failed"
+        assert db.get(follower.job_id).state == "failed"
+        assert db.get(follower.job_id).error == "boom"
+        assert queue.claim() is None
+
+    def test_death_refunds_fairness_charge(self, tmp_path):
+        queue, _db = make_queue(tmp_path)
+        doomed = queue.submit(StubScenario("a"), "alice", cost=100.0)
+        queue.submit(StubScenario("b"), "bob", cost=1.0)
+        queue.submit(StubScenario("a2"), "alice", cost=1.0)
+        assert queue.claim().job_id == doomed.job_id
+        queue.death(doomed.job_id, "died")
+        # The 100-cost charge was refunded: alice is not pushed behind
+        # bob for work the service never delivered.
+        assert queue.claim().submitter == "alice"
+
+    def test_fail_is_terminal_for_run_and_followers(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        primary = queue.submit(StubScenario("a"), "alice")
+        follower = queue.submit(StubScenario("a"), "bob")
+        queue.claim()
+        queue.fail(primary.job_id, "bad scenario")
+        assert db.get(primary.job_id).state == "failed"
+        assert db.get(follower.job_id).state == "failed"
+
+
+class TestRebuild:
+    def test_restart_preserves_queue_and_dedupe(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        primary = queue.submit(StubScenario("a"), "alice")
+        follower = queue.submit(StubScenario("a"), "bob")
+        distinct = queue.submit(StubScenario("b"), "carol")
+
+        # New queue over a reopened db: the scheduler state is re-derived.
+        db2 = JobDB(tmp_path / "svc", sync=False)
+        queue2 = JobQueue(db2, cost_fn=lambda s: 1.0)
+        assert queue2.pending() == 2  # one run for hash-a, one for hash-b
+        claimed = {queue2.claim().job_id, queue2.claim().job_id}
+        assert primary.job_id in claimed or follower.job_id in claimed
+        assert distinct.job_id in claimed
+
+    def test_restart_requeues_running_job(self, tmp_path):
+        queue, db = make_queue(tmp_path)
+        record = queue.submit(StubScenario("a"), "alice")
+        queue.claim()
+        assert db.get(record.job_id).state == "running"
+
+        db2 = JobDB(tmp_path / "svc", sync=False)  # recovery requeues it
+        assert db2.recovered == [record.job_id]
+        queue2 = JobQueue(db2, cost_fn=lambda s: 1.0)
+        reclaimed = queue2.claim()
+        assert reclaimed.job_id == record.job_id
+        assert reclaimed.attempts == 2
+
+    def test_restart_settles_queued_job_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", sync=False)
+        queue, db = make_queue(tmp_path, cache=cache)
+        record = queue.submit(StubScenario("a"), "alice")
+        # The result landed (say, another server sealed it) before restart.
+        cache.store_path("hash-a").mkdir(parents=True)
+        cache.seal("hash-a", extra={"tasks": 7})
+        db2 = JobDB(tmp_path / "svc", sync=False)
+        JobQueue(db2, cache=cache, cost_fn=lambda s: 1.0)
+        assert db2.get(record.job_id).state == "done"
+        assert db2.get(record.job_id).deduplicated
+
+
+class TestValidation:
+    def test_max_attempts_validated(self, tmp_path):
+        db = JobDB(tmp_path / "svc", sync=False)
+        with pytest.raises(ServiceError):
+            JobQueue(db, max_attempts=0)

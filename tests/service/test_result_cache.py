@@ -1,0 +1,68 @@
+"""Unit tests for the scenario-hash result cache (:mod:`repro.service.cache`).
+
+The cache's one hard promise: a hash reads as a hit only after its store
+was sealed complete, and the sealed payload bytes are exactly the store's
+canonical record bodies.
+"""
+
+import pytest
+
+from repro.engine.store import ResultStore
+from repro.service.cache import ResultCache
+
+
+def _write_store(path, task_ids):
+    store = ResultStore(path)
+    store.initialize({"config": {}, "plan": {}, "schemes": list(task_ids)})
+    for task_id in task_ids:
+        store.save(task_id, {"task": {"id": task_id}, "result": {"v": task_id}})
+    store.close()
+
+
+class TestResultCache:
+    def test_miss_without_marker(self, tmp_path):
+        cache = ResultCache(tmp_path, sync=False)
+        assert cache.lookup("h1") is None
+        _write_store(cache.store_path("h1"), ["a"])
+        # A complete-looking store is STILL a miss until sealed: only the
+        # marker proves every task landed.
+        assert cache.lookup("h1") is None
+
+    def test_seal_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path, sync=False)
+        _write_store(cache.store_path("h1"), ["a", "b"])
+        sealed = cache.seal("h1", extra={"tasks": 2})
+        assert cache.lookup("h1") == sealed
+        assert cache.marker("h1")["tasks"] == 2
+        assert cache.entries() == ["h1"]
+
+    def test_seal_requires_store_directory(self, tmp_path):
+        cache = ResultCache(tmp_path, sync=False)
+        with pytest.raises(FileNotFoundError):
+            cache.seal("missing")
+
+    def test_payloads_are_store_record_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path, sync=False)
+        _write_store(cache.store_path("h1"), ["a", "b"])
+        cache.seal("h1")
+        payloads = cache.payloads("h1")
+        assert sorted(payloads) == ["a", "b"]
+        store = ResultStore(cache.store_path("h1"))
+        try:
+            for task_id, blob in payloads.items():
+                assert blob == store.payload_bytes(task_id)
+        finally:
+            store.close()
+
+    def test_payloads_refuse_unsealed_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, sync=False)
+        _write_store(cache.store_path("h1"), ["a"])
+        with pytest.raises(FileNotFoundError):
+            cache.payloads("h1")
+
+    def test_entries_ignore_partials(self, tmp_path):
+        cache = ResultCache(tmp_path, sync=False)
+        _write_store(cache.store_path("h1"), ["a"])
+        _write_store(cache.store_path("h2"), ["a"])
+        cache.seal("h2")
+        assert cache.entries() == ["h2"]

@@ -1,0 +1,284 @@
+"""End-to-end service tests: real server, real sockets, real engine.
+
+Each test starts a :class:`SimulationService` on a loopback port and
+drives it through :class:`ServiceClient` connections, pinning the
+acceptance criteria of the service front door:
+
+* **coalescing** — N concurrent clients submitting identical scenarios
+  produce exactly one engine invocation, and every client fetches
+  bit-identical payload bytes;
+* **cache** — re-submitting a scenario whose ``content_hash()`` is sealed
+  returns ``done`` instantly without invoking the engine (counted via a
+  monkeypatched :func:`repro.service.server.simulate_job`);
+* **worker death** — an attempt that dies mid-job requeues (not lost, not
+  duplicated) and the retry resumes the partial store, completing
+  bit-identical to an uninterrupted run;
+* **cancel** — cooperative abort through the progress tap;
+* **auth** — a wrong shared secret is rejected at the handshake.
+
+The scenarios are deliberately small (one mix, 1–2 schemes, short plans)
+so the suite stays in tier-1 time budgets.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import AuthError, ServiceError
+from repro.experiments.runner import RunPlan
+from repro.scenario.model import Scenario
+from repro.scenario.system import SystemSpec
+from repro.scenario.workload import WorkloadSpec
+from repro.service import ServiceClient, SimulationService
+from repro.service import server as server_module
+
+
+def tiny_scenario(seed=7, mix="c5_0", schemes=("l2p", "l2s")):
+    """A deliberately small but real scenario (one mix, short plan)."""
+    return Scenario(
+        name=f"e2e-{mix}-{seed}",
+        system=SystemSpec(scale="tiny", seed=seed),
+        workload=WorkloadSpec(mixes=(mix,)),
+        schemes=tuple(schemes),
+        plan=RunPlan(
+            n_accesses=1_200,
+            target_instructions=20_000,
+            warmup_instructions=10_000,
+            seed=seed,
+        ),
+    )
+
+
+def start_service(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("sync", False)
+    return SimulationService(tmp_path / "svc", port=0, **kwargs)
+
+
+def counting_engine(monkeypatch):
+    """Patch the server's engine entry with an invocation counter."""
+    real = server_module.simulate_job
+    calls = []
+
+    def counted(scenario, store_path, **kwargs):
+        calls.append(scenario.content_hash())
+        return real(scenario, store_path, **kwargs)
+
+    monkeypatch.setattr(server_module, "simulate_job", counted)
+    return calls
+
+
+class TestConcurrentClients:
+    def test_identical_scenarios_coalesce_bit_identical(self, tmp_path, monkeypatch):
+        calls = counting_engine(monkeypatch)
+        scenario_a = tiny_scenario(seed=7)
+        scenario_b = tiny_scenario(seed=8)  # distinct hash
+        assert scenario_a.content_hash() != scenario_b.content_hash()
+
+        with start_service(tmp_path) as service:
+            results = {}
+            errors = []
+
+            def client_thread(index, scenario):
+                try:
+                    with ServiceClient(
+                        "127.0.0.1", service.port, submitter=f"user{index}"
+                    ) as client:
+                        job = client.submit(scenario)
+                        final = client.wait(job["job_id"], timeout=180)
+                        assert final["state"] == "done", final
+                        _job, payloads = client.result(job["job_id"])
+                        results[index] = (job, payloads)
+                except Exception as exc:  # surfaced below
+                    errors.append((index, exc))
+
+            threads = [
+                threading.Thread(
+                    target=client_thread,
+                    args=(index, scenario_a if index % 2 == 0 else scenario_b),
+                )
+                for index in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=180)
+            assert not errors, errors
+            assert len(results) == 6
+
+        # One engine invocation per distinct hash, no matter the fan-in.
+        assert sorted(calls) == sorted(
+            [scenario_a.content_hash(), scenario_b.content_hash()]
+        )
+        # Every client of one scenario got byte-identical payloads.
+        for group_seed, indices in ((7, (0, 2, 4)), (8, (1, 3, 5))):
+            reference = results[indices[0]][1]
+            assert reference, f"no payloads for seed {group_seed}"
+            for index in indices[1:]:
+                assert results[index][1] == reference
+        # And the deduped jobs say so on their records.
+        dedup_flags = sorted(
+            results[index][0]["deduplicated"] for index in (0, 2, 4)
+        )
+        assert dedup_flags == [False, True, True]
+
+    def test_cache_hit_skips_engine(self, tmp_path, monkeypatch):
+        calls = counting_engine(monkeypatch)
+        scenario = tiny_scenario(seed=9, schemes=("l2p",))
+        with start_service(tmp_path) as service:
+            with ServiceClient("127.0.0.1", service.port) as client:
+                first = client.submit(scenario)
+                done = client.wait(first["job_id"], timeout=180)
+                assert done["state"] == "done"
+                assert not done["deduplicated"]
+                assert len(calls) == 1
+
+                second = client.submit(scenario)
+                # Instantly terminal: no queue, no wait, no engine.
+                assert second["state"] == "done"
+                assert second["deduplicated"]
+                assert second["progress_done"] == second["progress_total"] > 0
+                assert len(calls) == 1
+
+                _job1, payloads1 = client.result(first["job_id"])
+                _job2, payloads2 = client.result(second["job_id"])
+                assert payloads1 == payloads2
+
+    def test_progress_streams_per_task(self, tmp_path):
+        scenario = tiny_scenario(seed=11)
+        with start_service(tmp_path) as service:
+            with ServiceClient("127.0.0.1", service.port) as client:
+                job = client.submit(scenario)
+                final = client.wait(job["job_id"], timeout=180)
+        # One mix x (l2p, l2s) = 2 tasks, all journaled as completed.
+        assert final["progress_total"] == 2
+        assert final["progress_done"] == 2
+
+
+class TestWorkerDeath:
+    def test_death_mid_job_requeues_and_completes_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        scenario = tiny_scenario(seed=13, schemes=("l2p", "l2s"))
+        real = server_module.simulate_job
+        state = {"deaths": 0}
+
+        def dying_engine(scenario_arg, store_path, *, progress=None, **kwargs):
+            if state["deaths"] == 0:
+                # Die after the first task's result is durably stored.
+                def lethal_tap(task_id, done, total):
+                    if progress is not None:
+                        progress(task_id, done, total)
+                    if done >= 1:
+                        state["deaths"] += 1
+                        raise RuntimeError("simulated worker death")
+
+                return real(scenario_arg, store_path, progress=lethal_tap, **kwargs)
+            return real(scenario_arg, store_path, progress=progress, **kwargs)
+
+        monkeypatch.setattr(server_module, "simulate_job", dying_engine)
+        with start_service(tmp_path, workers=1) as service:
+            with ServiceClient("127.0.0.1", service.port) as client:
+                job = client.submit(scenario)
+                final = client.wait(job["job_id"], timeout=180)
+                assert final["state"] == "done"
+                # Requeued exactly once: two claims, one death, no dupes.
+                assert state["deaths"] == 1
+                assert final["attempts"] == 2
+                _job, payloads = client.result(job["job_id"])
+
+        # Bit-identical to an uninterrupted run in a fresh service.
+        with start_service(tmp_path / "control") as control:
+            with ServiceClient("127.0.0.1", control.port) as client:
+                job2 = client.submit(scenario)
+                assert client.wait(job2["job_id"], timeout=180)["state"] == "done"
+                _job2, control_payloads = client.result(job2["job_id"])
+        assert payloads == control_payloads
+
+    def test_repeated_death_fails_terminally(self, tmp_path, monkeypatch):
+        scenario = tiny_scenario(seed=17, schemes=("l2p",))
+
+        def always_dying(scenario_arg, store_path, **kwargs):
+            raise RuntimeError("hardware on fire")
+
+        monkeypatch.setattr(server_module, "simulate_job", always_dying)
+        with start_service(tmp_path, workers=1, max_attempts=2) as service:
+            with ServiceClient("127.0.0.1", service.port) as client:
+                job = client.submit(scenario)
+                final = client.wait(job["job_id"], timeout=60)
+        assert final["state"] == "failed"
+        assert final["attempts"] == 2
+        assert "hardware on fire" in final["error"]
+
+
+class TestCancel:
+    def test_cancel_running_job_aborts_engine(self, tmp_path, monkeypatch):
+        started = threading.Event()
+
+        def endless_engine(scenario_arg, store_path, *, progress=None, **kwargs):
+            started.set()
+            for tick in range(2_000):  # bounded: the tap aborts us long before
+                if progress is not None:
+                    progress("fake-task", tick, 2_000)
+                time.sleep(0.01)
+            raise RuntimeError("cancel never arrived")
+
+        monkeypatch.setattr(server_module, "simulate_job", endless_engine)
+        scenario = tiny_scenario(seed=19, schemes=("l2p",))
+        with start_service(tmp_path, workers=1) as service:
+            with ServiceClient("127.0.0.1", service.port) as client:
+                job = client.submit(scenario)
+                assert started.wait(timeout=30)
+                cancelled, record = client.cancel(job["job_id"])
+                assert cancelled
+                assert record["state"] == "cancelled"
+                final = client.wait(job["job_id"], timeout=30)
+                assert final["state"] == "cancelled"
+                with pytest.raises(ServiceError, match="not done"):
+                    client.result(job["job_id"])
+
+    def test_cancel_queued_job_never_runs(self, tmp_path, monkeypatch):
+        calls = counting_engine(monkeypatch)
+        blocker = threading.Event()
+        release = threading.Event()
+        real = server_module.simulate_job
+
+        def gated_engine(scenario_arg, store_path, **kwargs):
+            blocker.set()
+            release.wait(timeout=60)
+            return real(scenario_arg, store_path, **kwargs)
+
+        monkeypatch.setattr(server_module, "simulate_job", gated_engine)
+        occupier = tiny_scenario(seed=23, schemes=("l2p",))
+        victim = tiny_scenario(seed=29, schemes=("l2p",))
+        with start_service(tmp_path, workers=1) as service:
+            with ServiceClient("127.0.0.1", service.port) as client:
+                first = client.submit(occupier)
+                assert blocker.wait(timeout=30)  # worker busy
+                second = client.submit(victim)
+                cancelled, record = client.cancel(second["job_id"])
+                assert cancelled and record["state"] == "cancelled"
+                release.set()
+                assert client.wait(first["job_id"], timeout=180)["state"] == "done"
+        assert victim.content_hash() not in calls  # never claimed
+
+
+class TestAuth:
+    def test_wrong_secret_rejected(self, tmp_path):
+        with start_service(tmp_path, secret="right-secret") as service:
+            with pytest.raises(AuthError):
+                ServiceClient("127.0.0.1", service.port, secret="wrong-secret")
+
+    def test_matching_secret_encrypts_and_serves(self, tmp_path):
+        scenario = tiny_scenario(seed=31, schemes=("l2p",))
+        with start_service(tmp_path, secret="shared-secret") as service:
+            with ServiceClient(
+                "127.0.0.1", service.port, secret="shared-secret"
+            ) as client:
+                assert client._cipher is not None  # payloads are encrypted
+                job = client.submit(scenario)
+                final = client.wait(job["job_id"], timeout=180)
+                assert final["state"] == "done"
+                _job, payloads = client.result(job["job_id"])
+                assert payloads

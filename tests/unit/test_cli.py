@@ -437,3 +437,112 @@ class TestCommands:
         for w, text in zip(workers, worker_out):
             assert w.returncode == 0, text
             assert "processed" in text
+
+
+class TestServiceParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--root", "/tmp/svc"])
+        assert args.command == "serve"
+        assert args.bind == "127.0.0.1:7781"
+        assert args.workers == 1 and args.jobs == 0 and args.max_attempts == 3
+
+    def test_serve_requires_root(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_validation(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--root", "/tmp/svc", "--bind", "nonsense"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--root", "/tmp/svc", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["serve", "--root", "/tmp/svc", "--max-attempts", "0"])
+
+    def test_job_verbs_parse(self):
+        args = build_parser().parse_args(["job", "submit", "smoke-tiny", "--wait"])
+        assert args.job_command == "submit" and args.wait
+        args = build_parser().parse_args(["job", "status", "job-000001"])
+        assert args.job_command == "status" and args.job_id == "job-000001"
+        args = build_parser().parse_args(
+            ["job", "result", "job-000001", "--connect", "10.0.0.1:9999", "--out", "x"]
+        )
+        assert args.connect == "10.0.0.1:9999" and args.out == "x"
+        assert build_parser().parse_args(["job", "list"]).job_command == "list"
+
+    def test_job_validation(self):
+        with pytest.raises(SystemExit):
+            main(["job", "list", "--connect", "nonsense"])
+        with pytest.raises(SystemExit):
+            main(["job", "submit", "smoke-tiny", "--wait-timeout", "0"])
+
+
+class TestServiceCommands:
+    def scenario_file(self, tmp_path, seed=7):
+        import json as json_mod
+
+        from repro.experiments.runner import RunPlan
+        from repro.scenario import Scenario, SystemSpec, WorkloadSpec
+
+        scenario = Scenario(
+            name=f"cli-e2e-{seed}",
+            system=SystemSpec(scale="tiny", seed=seed),
+            workload=WorkloadSpec(mixes=("c5_0",)),
+            schemes=("l2p",),
+            plan=RunPlan(n_accesses=1_200, target_instructions=20_000,
+                         warmup_instructions=10_000, seed=seed),
+        )
+        path = tmp_path / "scenario.yaml"  # JSON is a YAML subset
+        path.write_text(json_mod.dumps(scenario.to_dict()))
+        return path
+
+    def test_job_round_trip_over_live_service(self, tmp_path, capsys):
+        from repro.service import SimulationService
+
+        path = self.scenario_file(tmp_path)
+        with SimulationService(tmp_path / "svc", port=0, sync=False) as service:
+            connect = ["--connect", f"127.0.0.1:{service.port}"]
+            rc = main(["job", "submit", str(path), "--wait", *connect])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "state=done" in out and "job-000001" in out
+            rc = main(["job", "submit", str(path), *connect])
+            out = capsys.readouterr().out
+            assert rc == 0 and "deduplicated=true" in out
+            rc = main(["job", "result", "job-000001", *connect,
+                       "--out", str(tmp_path / "payloads")])
+            out = capsys.readouterr().out
+            assert rc == 0 and "wrote 1 task payload(s)" in out
+            assert (tmp_path / "payloads" / "c5_0__l2p.bin").exists()
+            rc = main(["job", "list", *connect])
+            assert "2 job(s)" in capsys.readouterr().out
+            assert rc == 0
+
+    def test_job_cancel_unknown_id_clean_error(self, tmp_path, capsys):
+        from repro.service import SimulationService
+
+        with SimulationService(tmp_path / "svc", port=0, sync=False) as service:
+            rc = main(["job", "status", "job-999999",
+                       "--connect", f"127.0.0.1:{service.port}"])
+        assert rc == 1
+        assert "job-999999" in capsys.readouterr().err
+
+    def test_job_connect_refused_clean_error(self, capsys):
+        # Nothing listens on this port of TEST-NET; connect fails fast.
+        rc = main(["job", "list", "--connect", "127.0.0.1:1"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_job_submit_grid_refused(self, tmp_path, capsys):
+        from repro.service import SimulationService
+
+        grid = tmp_path / "grid.yaml"
+        grid.write_text(
+            '{"grid": 1, "name": "g", "base": {"name": "g", "system": {"scale": "tiny"}, '
+            '"workload": {"mixes": ["c5_0"]}, "schemes": ["l2p"]}, '
+            '"axes": {"system.seed": [1, 2]}}'
+        )
+        with SimulationService(tmp_path / "svc", port=0, sync=False) as service:
+            rc = main(["job", "submit", str(grid),
+                       "--connect", f"127.0.0.1:{service.port}"])
+        assert rc == 1
+        assert "scenario grid" in capsys.readouterr().err
