@@ -27,6 +27,9 @@ from ..workloads.trace import Trace
 __all__ = [
     "RunPlan",
     "SIM_CORES",
+    "AUTO_CORE_BY_SCHEME",
+    "AUTO_DEFAULT_CORE",
+    "resolve_auto_core",
     "ComboResult",
     "make_system",
     "run_traces",
@@ -51,11 +54,31 @@ CC_PROBS_FAST: tuple[float, ...] = (0.0, 0.5, 1.0)
 
 
 #: The selectable simulation cores (see :mod:`repro.core`): ``auto`` picks
-#: the best core for the workload (currently the fast scalar loop — the
-#: batched core wins only on hit-dominated streams and is opt-in), ``fast``
-#: and ``batch`` name the two production loops, ``reference`` the seed loop
-#: every other core is held bit-identical to.
-SIM_CORES: tuple[str, ...] = ("auto", "fast", "batch", "reference")
+#: the best core *per scheme* from the measured selection table below,
+#: ``fast``, ``batch`` and ``compiled`` name the three production loops,
+#: ``reference`` the seed loop every other core is held bit-identical to.
+SIM_CORES: tuple[str, ...] = ("auto", "fast", "batch", "compiled", "reference")
+
+#: Measured per-scheme core selection for ``sim_core="auto"`` (geomean over
+#: the paper's miss-heavy mixes, BENCH_sim_speed.json).  The compiled SoA
+#: kernels win by ~10-15x for every scheme they cover; ``snug_intra`` has no
+#: compiled kernel (its intra-set semantics dispatch through the generic
+#: loop) and the batched core *regresses* it on these mixes (0.60x for l2s
+#: before the compiled core existed), so anything without a kernel resolves
+#: to the fast scalar loop — never to ``batch``.
+AUTO_CORE_BY_SCHEME: dict[str, str] = {
+    "l2p": "compiled",
+    "l2s": "compiled",
+    "cc": "compiled",
+    "dsr": "compiled",
+    "snug": "compiled",
+}
+AUTO_DEFAULT_CORE: str = "fast"
+
+
+def resolve_auto_core(scheme_name: str) -> str:
+    """The concrete core ``sim_core="auto"`` picks for *scheme_name*."""
+    return AUTO_CORE_BY_SCHEME.get(scheme_name, AUTO_DEFAULT_CORE)
 
 
 @dataclass(frozen=True)
@@ -129,14 +152,19 @@ class ComboResult:
 def make_system(sim_core: str, config: SystemConfig, scheme, traces) -> CmpSystem:
     """Instantiate the requested stepping loop over *scheme* and *traces*.
 
-    ``auto`` resolves to the fast scalar loop: the batched core only beats
-    it on hit-dominated (quiescent) streams, where the paper's contention
-    mixes spend 25-60% of accesses on the shared scalar miss path.  The
-    batched and reference cores stay one explicit flag away, imported
-    lazily so the default path never pays for them.
+    ``auto`` resolves per scheme through :func:`resolve_auto_core`: the
+    compiled SoA kernels for the five schemes they cover, the fast scalar
+    loop for everything else.  The non-default cores are imported lazily so
+    the common path never pays for them.
     """
-    if sim_core in ("auto", "fast"):
+    if sim_core == "auto":
+        sim_core = resolve_auto_core(getattr(scheme, "name", ""))
+    if sim_core == "fast":
         return CmpSystem(config, scheme, traces)
+    if sim_core == "compiled":
+        from ..core.compiled import CompiledCmpSystem
+
+        return CompiledCmpSystem(config, scheme, traces)
     if sim_core == "batch":
         from ..core.batch import BatchCmpSystem
 
@@ -146,7 +174,7 @@ def make_system(sim_core: str, config: SystemConfig, scheme, traces) -> CmpSyste
 
         return ReferenceCmpSystem(config, scheme, traces)  # type: ignore[return-value]
     raise ConfigError(
-        f"unknown sim_core {sim_core!r}; known: auto, fast, batch, reference"
+        f"unknown sim_core {sim_core!r}; known: {', '.join(SIM_CORES)}"
     )
 
 

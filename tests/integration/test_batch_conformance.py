@@ -1,27 +1,41 @@
-"""Batched-core conformance: bit-identical to the reference on every path.
+"""Non-reference-core conformance: bit-identical to the seed on every path.
 
 The batched core (:mod:`repro.core.batch`) advances locally-resolvable
 accesses in bulk and falls back to scalar stepping at exactly the first
-non-local access, so every arithmetic term matches the seed loop kept in
-:mod:`repro.core.reference`.  This suite holds that contract at the
+non-local access; the compiled core (:mod:`repro.core.compiled`) keeps all
+cache state in flat SoA containers and steps whole runs through per-scheme
+kernels.  Both must match the seed loop kept in :mod:`repro.core.reference`
+term for term.  This suite holds that contract at the
 ``SimResult.to_dict()`` level — full dict equality, floats with ``==`` —
-across all six schemes, and on the edge paths where batching degrades or
-interacts with other subsystems:
+across all six schemes, and on the edge paths where the fast paths degrade
+or interact with other subsystems:
 
-* ``l2s`` under a contention-modelled bus (``bulk_supported`` off: the
-  batched core must degenerate to scalar stepping, still bit-identical);
+* ``l2s`` under a contention-modelled bus (the batched core must
+  degenerate to scalar stepping, the compiled kernels model the bus
+  occupancy in-kernel — both still bit-identical);
 * ``cc`` under contention + banked DRAM with ``check_invariants=True``
-  (the occupancy models must be untouched by bulk consumption);
+  on the batched side (the occupancy models must be untouched by bulk
+  consumption);
 * ``snug`` with an attached :class:`OnlineDemandMonitor` (the observed
-  reference stream must be the same stream, latch for latch);
+  reference stream must be the same stream, latch for latch; the
+  compiled core falls back to its interpreted driver here);
 * the budget-exhausted :class:`SimulationError` (same enriched per-core
-  progress message from either production loop);
-* CLI stores written under ``--sim-core batch`` vs ``--sim-core
-  reference`` (byte-identical records, same manifest — the store-level
-  face of the contract).
+  progress message from every production loop);
+* CLI stores written under ``--sim-core batch`` / ``--sim-core compiled``
+  vs ``--sim-core reference`` (byte-identical records, same manifest —
+  the store-level face of the contract).
+
+The compiled core's kernel *tiers* (Numba JIT / native C / interpreted) are
+each bit-identical as well; the interpreted tier is pinned by
+``TestInterpretedFallback`` via subprocesses with the ``REPRO_NO_NUMBA`` /
+``REPRO_NO_CKERNEL`` knobs set.
 """
 
 import dataclasses
+import json
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -29,11 +43,16 @@ from repro.common.config import scaled_config
 from repro.common.errors import SimulationError
 from repro.core.batch import BatchCmpSystem
 from repro.core.cmp import CmpSystem
+from repro.core.compiled import CompiledCmpSystem
 from repro.core.reference import ReferenceCmpSystem
 from repro.schemes.factory import SCHEMES, make_scheme
 from repro.workloads.mixes import build_mix_traces, get_mix
 
 ALL_SCHEMES = sorted(SCHEMES)
+
+#: The production loops held to the conformance contract (the fast scalar
+#: loop rides along in the all-scheme sweep below).
+PRODUCTION_CORES = [BatchCmpSystem, CompiledCmpSystem]
 
 
 def build(config_mut=None, *, scale="tiny", n_accesses=3_000):
@@ -62,22 +81,29 @@ class TestSchemeEquivalence:
             check_invariants=True,
         )
         fast = run_core(CmpSystem, cfg, scheme_name, traces, 30_000, 5_000)
+        compiled = run_core(
+            CompiledCmpSystem, cfg, scheme_name, traces, 30_000, 5_000
+        )
         assert batch == ref
         assert fast == ref
+        assert compiled == ref
 
+    @pytest.mark.parametrize("core_cls", PRODUCTION_CORES)
     @pytest.mark.parametrize("scheme_name", ["l2s", "snug"])
-    def test_batch_matches_reference_small(self, scheme_name):
+    def test_matches_reference_small(self, core_cls, scheme_name):
         # Small scale exercises deeper runs (longer quiescent stretches,
-        # more wraps); l2s covers the ordered-merge commit, snug the
-        # stage-horizon clamping.
+        # more wraps); l2s covers the ordered-merge commit and the compiled
+        # bank-routed probe, snug the stage-horizon clamping and the
+        # compiled stage/shadow/latch machinery.
         cfg, traces = build(scale="small", n_accesses=4_000)
         ref = run_core(ReferenceCmpSystem, cfg, scheme_name, traces, 30_000, 5_000)
-        batch = run_core(BatchCmpSystem, cfg, scheme_name, traces, 30_000, 5_000)
-        assert batch == ref
+        out = run_core(core_cls, cfg, scheme_name, traces, 30_000, 5_000)
+        assert out == ref
 
 
 class TestEdgePaths:
-    def test_l2s_contention_falls_back_to_scalar(self):
+    @pytest.mark.parametrize("core_cls", PRODUCTION_CORES)
+    def test_l2s_contention(self, core_cls):
         cfg, traces = build(
             lambda c: dataclasses.replace(
                 c, bus=dataclasses.replace(c.bus, model_contention=True)
@@ -85,10 +111,11 @@ class TestEdgePaths:
         )
         assert not make_scheme("l2s", cfg).bulk_supported
         ref = run_core(ReferenceCmpSystem, cfg, "l2s", traces, 20_000, 2_000)
-        batch = run_core(BatchCmpSystem, cfg, "l2s", traces, 20_000, 2_000)
-        assert batch == ref
+        out = run_core(core_cls, cfg, "l2s", traces, 20_000, 2_000)
+        assert out == ref
 
-    def test_cc_contention_banked_dram_with_invariants(self):
+    @pytest.mark.parametrize("core_cls", PRODUCTION_CORES)
+    def test_cc_contention_banked_dram(self, core_cls):
         cfg, traces = build(
             lambda c: dataclasses.replace(
                 c,
@@ -96,52 +123,68 @@ class TestEdgePaths:
                 dram=dataclasses.replace(c.dram, model_banks=True),
             )
         )
+        # check_invariants asserts around every bulk commit that the
+        # occupancy models (bus, DRAM, write buffers) were not advanced;
+        # the compiled core has no bulk commits to instrument.
+        kwargs = {"check_invariants": True} if core_cls is BatchCmpSystem else {}
         ref = run_core(ReferenceCmpSystem, cfg, "cc", traces, 20_000, 2_000)
-        batch = run_core(
-            BatchCmpSystem, cfg, "cc", traces, 20_000, 2_000,
-            check_invariants=True,
-        )
-        assert batch == ref
+        out = run_core(core_cls, cfg, "cc", traces, 20_000, 2_000, **kwargs)
+        assert out == ref
 
-    def test_snug_online_monitor_sees_identical_stream(self):
+    @pytest.mark.parametrize("core_cls", PRODUCTION_CORES)
+    def test_snug_online_monitor_sees_identical_stream(self, core_cls):
         from repro.schemes.snug import OnlineDemandMonitor
 
         cfg, traces = build()
         results, monitors = [], []
-        for core_cls in (ReferenceCmpSystem, BatchCmpSystem):
+        for cls in (ReferenceCmpSystem, core_cls):
             scheme = make_scheme("snug", cfg)
             scheme.attach_monitor(
                 OnlineDemandMonitor.from_config(cfg, chunk_accesses=512)
             )
-            system = core_cls(cfg, scheme, list(traces))
+            system = cls(cfg, scheme, list(traces))
             results.append(system.run(20_000, warmup_instructions=2_000).to_dict())
             monitors.append(scheme.monitor)
         assert results[0] == results[1]
         assert monitors[0].latches == monitors[1].latches
 
+    def test_cc_fractional_spill_rng_stream(self):
+        # spill_probability=0.35 draws the spill coin per candidate; the
+        # compiled C kernel consumes those draws from a prefetched ring
+        # buffer that must replay the scalar draw sequence exactly.
+        cfg, traces = build(
+            lambda c: dataclasses.replace(
+                c, cc=dataclasses.replace(c.cc, spill_probability=0.35)
+            )
+        )
+        ref = run_core(ReferenceCmpSystem, cfg, "cc", traces, 30_000, 5_000)
+        compiled = run_core(CompiledCmpSystem, cfg, "cc", traces, 30_000, 5_000)
+        assert compiled == ref
+
     def test_budget_exhausted_message_identical(self):
         cfg, traces = build()
         messages = []
-        for core_cls in (CmpSystem, BatchCmpSystem):
+        for core_cls in (CmpSystem, BatchCmpSystem, CompiledCmpSystem):
             scheme = make_scheme("l2p", cfg)
             with pytest.raises(SimulationError) as exc_info:
                 core_cls(cfg, scheme, list(traces)).run(200_000, max_events=5_000)
             messages.append(str(exc_info.value))
         assert "event budget exhausted (5000)" in messages[0]
         assert "core 0:" in messages[0]  # enriched per-core progress
-        assert messages[0] == messages[1]
+        assert len(set(messages)) == 1
 
 
 class TestCliStoreConformance:
-    def test_sim_core_stores_byte_identical(self, tmp_path):
-        """`--sim-core batch` and `--sim-core reference` persist
+    @pytest.mark.parametrize("core", ["batch", "compiled"])
+    def test_sim_core_stores_byte_identical(self, tmp_path, core):
+        """`--sim-core batch`/`compiled` and `--sim-core reference` persist
         byte-identical per-task records under one manifest."""
         from repro.cli import main
         from repro.engine.store import ResultStore
         from repro.scenario import preset_path
 
-        a, b = tmp_path / "batch", tmp_path / "reference"
-        for core, store in (("batch", a), ("reference", b)):
+        a, b = tmp_path / core, tmp_path / "reference"
+        for core, store in ((core, a), ("reference", b)):
             assert main(["scenario", "run", str(preset_path("smoke-tiny")),
                          "--jobs", "0", "--sim-core", core,
                          "--store", str(store)]) == 0
@@ -164,8 +207,78 @@ class TestCliStoreConformance:
 
         store = tmp_path / "store"
         assert main(["scenario", "run", str(preset_path("smoke-tiny")),
-                     "--jobs", "0", "--sim-core", "batch",
+                     "--jobs", "0", "--sim-core", "compiled",
                      "--store", str(store)]) == 0
         assert main(["scenario", "run", str(preset_path("smoke-tiny")),
                      "--jobs", "0", "--sim-core", "fast",
                      "--store", str(store), "--resume"]) == 0
+
+
+#: Runs the five kernel schemes under the compiled core and dumps
+#: ``{"mode": kernel_mode(), "results": {scheme: to_dict()}}`` as JSON —
+#: executed in a subprocess so the ``REPRO_NO_NUMBA``/``REPRO_NO_CKERNEL``
+#: knobs (read at import / first build) take effect.
+_CHILD_SCRIPT = """\
+import json, sys
+from repro.common.config import scaled_config
+from repro.core.compiled import CompiledCmpSystem, kernel_mode
+from repro.schemes.factory import make_scheme
+from repro.workloads.mixes import build_mix_traces, get_mix
+
+cfg = scaled_config("tiny", seed=7)
+traces = build_mix_traces(get_mix("c4_0"), cfg.l2.num_sets, 3000, seed=0)
+results = {}
+for name in ("l2p", "l2s", "cc", "dsr", "snug"):
+    scheme = make_scheme(name, cfg)
+    system = CompiledCmpSystem(cfg, scheme, list(traces))
+    results[name] = system.run(30000, warmup_instructions=5000).to_dict()
+json.dump({"mode": kernel_mode(), "results": results}, sys.stdout)
+"""
+
+
+class TestInterpretedFallback:
+    """The accelerated tiers are optional; the fallback is bit-identical.
+
+    With ``REPRO_NO_NUMBA=1`` *and* ``REPRO_NO_CKERNEL=1`` the compiled
+    core runs its pure-Python interpreted kernels and announces that once,
+    in one line on stderr.  With only Numba disabled the native C tier
+    serves, silently.  Either way the results match the reference loop
+    term for term.
+    """
+
+    def _run_child(self, **env_knobs):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[2] / "src"
+        env = {**os.environ, "PYTHONPATH": str(src), **env_knobs}
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD_SCRIPT],
+            capture_output=True, text=True, env=env, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout), proc.stderr
+
+    def _reference_results(self):
+        cfg, traces = build()
+        return json.loads(json.dumps({
+            name: run_core(ReferenceCmpSystem, cfg, name, traces, 30_000, 5_000)
+            for name in ("l2p", "l2s", "cc", "dsr", "snug")
+        }))
+
+    def test_interpreted_kernels_bit_identical_with_notice(self):
+        payload, stderr = self._run_child(
+            REPRO_NO_NUMBA="1", REPRO_NO_CKERNEL="1"
+        )
+        assert payload["mode"] == "interpreted"
+        assert payload["results"] == self._reference_results()
+        notices = [l for l in stderr.splitlines() if l.startswith("repro.compiled:")]
+        assert len(notices) == 1  # once per process, not once per run
+        assert "disabled by REPRO_NO_NUMBA" in notices[0]
+        assert "using interpreted kernels (bit-identical)" in notices[0]
+
+    def test_no_numba_tier_bit_identical(self):
+        payload, stderr = self._run_child(REPRO_NO_NUMBA="1")
+        assert payload["mode"] in ("compiled-c", "interpreted")
+        assert payload["results"] == self._reference_results()
+        if payload["mode"] == "compiled-c":  # no notice when a fast tier runs
+            assert "repro.compiled:" not in stderr

@@ -24,8 +24,16 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.core.batch import BatchCmpSystem
 from repro.core.cmp import CmpSystem, SimResult
+from repro.core.compiled import CompiledCmpSystem
 from repro.core.reference import ReferenceCmpSystem
-from repro.experiments.runner import SIM_CORES, RunPlan, make_system
+from repro.experiments.runner import (
+    AUTO_CORE_BY_SCHEME,
+    AUTO_DEFAULT_CORE,
+    SIM_CORES,
+    RunPlan,
+    make_system,
+    resolve_auto_core,
+)
 from repro.scenario.model import plan_from_dict, plan_to_dict
 from repro.scenario.run import EngineOptions, scenario_from_flags
 
@@ -102,6 +110,56 @@ class TestExperimentIdentity:
         assert "max_events" in manifests[0]["plan"]
 
 
+class TestAutoSelectionTable:
+    """``auto`` resolves per scheme from the measured table, never to batch.
+
+    The batched core regresses l2s to 0.60x on the paper's miss-heavy mixes,
+    which is the bug the table exists to fix: every scheme with a compiled
+    kernel lands on it, everything else (``snug_intra``, unknown names)
+    lands on the fast scalar loop.
+    """
+
+    def test_every_registered_scheme_resolves(self):
+        from repro.schemes.factory import SCHEMES
+
+        expected = {
+            "l2p": "compiled",
+            "l2s": "compiled",
+            "cc": "compiled",
+            "dsr": "compiled",
+            "snug": "compiled",
+            "snug_intra": "fast",
+        }
+        assert set(expected) == set(SCHEMES)
+        for name, core in expected.items():
+            assert resolve_auto_core(name) == core, name
+
+    def test_unknown_scheme_gets_default(self):
+        assert resolve_auto_core("out_of_tree") == AUTO_DEFAULT_CORE == "fast"
+
+    def test_table_never_selects_batch(self):
+        # The l2s regression guard: no scheme may auto-resolve to batch.
+        assert "batch" not in AUTO_CORE_BY_SCHEME.values()
+        assert AUTO_DEFAULT_CORE != "batch"
+
+    def test_table_only_names_real_cores(self):
+        for core in {*AUTO_CORE_BY_SCHEME.values(), AUTO_DEFAULT_CORE}:
+            assert core in SIM_CORES and core != "auto"
+
+    def test_auto_dispatches_through_table(self):
+        from repro.common.config import tiny_config
+        from repro.schemes.factory import make_scheme
+        from repro.workloads.mixes import build_mix_traces, get_mix
+
+        config = tiny_config(seed=7)
+        traces = build_mix_traces(get_mix("c4_0"), config.l2.num_sets, 200, 0)
+        by_core = {"compiled": CompiledCmpSystem, "fast": CmpSystem}
+        for name in ("l2p", "l2s", "cc", "dsr", "snug", "snug_intra"):
+            scheme = make_scheme(name, config)
+            system = make_system("auto", config, scheme, list(traces))
+            assert type(system) is by_core[resolve_auto_core(name)], name
+
+
 class TestDispatch:
     def test_make_system_selects_core(self):
         from repro.common.config import tiny_config
@@ -111,11 +169,13 @@ class TestDispatch:
         config = tiny_config(seed=7)
         traces = build_mix_traces(get_mix("c4_0"), config.l2.num_sets, 200, 0)
         expected = {
-            "auto": CmpSystem,
+            "auto": CompiledCmpSystem,  # l2p sits in the selection table
             "fast": CmpSystem,
             "batch": BatchCmpSystem,
+            "compiled": CompiledCmpSystem,
             "reference": ReferenceCmpSystem,
         }
+        assert set(expected) == set(SIM_CORES)
         for name, cls in expected.items():
             system = make_system(name, config, PrivateL2(config), list(traces))
             assert type(system) is cls
